@@ -1,0 +1,43 @@
+//! Channel-model costs: SNR sampling (the per-tick collection hot path)
+//! and multicast resource-block accounting.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use msvs_channel::{group_resource_demand, Link, LinkConfig};
+use msvs_types::{Hertz, Mbps, Meters};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_snr_sample(c: &mut Criterion) {
+    let link = Link::new(LinkConfig::default());
+    let mut rng = StdRng::seed_from_u64(3);
+    c.bench_function("link_sample_snr", |b| {
+        b.iter(|| link.sample_snr_db(&mut rng, black_box(Meters(237.0))))
+    });
+}
+
+fn bench_efficiency(c: &mut Criterion) {
+    let link = Link::new(LinkConfig::default());
+    c.bench_function("cqi_lookup", |b| {
+        b.iter(|| link.spectral_efficiency(black_box(13.7)))
+    });
+}
+
+fn bench_group_demand(c: &mut Criterion) {
+    c.bench_function("group_rb_demand", |b| {
+        b.iter(|| {
+            group_resource_demand(
+                black_box(Mbps(2.5)),
+                black_box(1.9141),
+                black_box(Hertz(180_000.0)),
+            )
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_snr_sample, bench_efficiency, bench_group_demand
+}
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! K-means++ scaling: seeding plus Lloyd iterations over growing
+//! populations (the per-interval clustering cost of group construction).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use msvs_bench::archetype_features;
+use msvs_cluster::{KMeans, KMeansConfig};
+use std::hint::black_box;
+
+fn bench_kmeans(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kmeans_fit");
+    for &n_per in &[25usize, 100, 400] {
+        let features = archetype_features(5, n_per, 0.4, 7);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(features.len()),
+            &features,
+            |b, feats| {
+                b.iter(|| {
+                    KMeans::new(KMeansConfig {
+                        k: 5,
+                        seed: 1,
+                        ..Default::default()
+                    })
+                    .fit(black_box(feats))
+                    .expect("fit succeeds")
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_silhouette(c: &mut Criterion) {
+    let features = archetype_features(5, 60, 0.4, 7);
+    let fit = KMeans::new(KMeansConfig {
+        k: 5,
+        seed: 1,
+        ..Default::default()
+    })
+    .fit(&features)
+    .expect("fit succeeds");
+    c.bench_function("silhouette_300", |b| {
+        b.iter(|| msvs_cluster::silhouette(black_box(&features), black_box(&fit.assignments)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_kmeans, bench_silhouette
+}
+criterion_main!(benches);

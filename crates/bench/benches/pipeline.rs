@@ -1,0 +1,33 @@
+//! Whole-pipeline cost: one reservation interval of the simulator
+//! (collection + prediction + playback) and one prediction-only pass — the
+//! numbers behind the "timely" claim at reservation-interval granularity.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use msvs_bench::paper_scenario;
+use msvs_sim::Simulation;
+
+fn bench_full_interval(c: &mut Criterion) {
+    c.bench_function("simulate_one_interval_60u", |b| {
+        b.iter_with_setup(
+            || {
+                let mut sim = Simulation::new(paper_scenario(60, 1, 3)).expect("scenario builds");
+                sim.warm_up().expect("warm-up runs");
+                sim
+            },
+            |mut sim| sim.run_interval(0).expect("interval runs"),
+        )
+    });
+}
+
+fn bench_whole_run(c: &mut Criterion) {
+    c.bench_function("simulate_4_intervals_40u", |b| {
+        b.iter(|| Simulation::run(paper_scenario(40, 4, 5)).expect("simulation runs"))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_full_interval, bench_whole_run
+}
+criterion_main!(benches);

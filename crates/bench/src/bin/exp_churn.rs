@@ -1,0 +1,49 @@
+//! E7 (extension): robustness to user churn — prediction accuracy and
+//! grouping quality while a fraction of the population is replaced with
+//! cold-started twins every interval.
+//!
+//! ```text
+//! cargo run --release -p msvs-bench --bin exp_churn
+//! ```
+
+use msvs_bench::{mean_std, paper_scenario};
+use msvs_sim::Simulation;
+
+fn main() {
+    println!("# E7 — robustness to per-interval user churn");
+    println!(
+        "{:>8} {:>18} {:>14} {:>12} {:>12}",
+        "churn", "radio acc (%)", "silhouette", "stability", "mean K"
+    );
+    for churn in [0.0, 0.05, 0.1, 0.2, 0.4] {
+        let seeds = [7u64, 42, 99];
+        let mut accs = Vec::new();
+        let mut sil = Vec::new();
+        let mut stab = Vec::new();
+        let mut k = Vec::new();
+        for &s in &seeds {
+            let cfg = msvs_sim::SimulationConfig {
+                churn_rate: churn,
+                ..paper_scenario(120, 10, s)
+            };
+            let r = Simulation::run(cfg).expect("simulation runs");
+            accs.push(100.0 * r.mean_radio_accuracy());
+            sil.push(r.mean_silhouette());
+            stab.push(r.mean_grouping_stability().unwrap_or(0.0));
+            k.push(r.mean_k());
+        }
+        let (am, asd) = mean_std(&accs);
+        let (sm, _) = mean_std(&sil);
+        let (tm, _) = mean_std(&stab);
+        let (km, _) = mean_std(&k);
+        println!(
+            "{:>7.0}% {am:>13.1}±{asd:<4.1} {sm:>14.3} {tm:>12.3} {km:>12.1}",
+            100.0 * churn
+        );
+    }
+    println!(
+        "\n# expectation: accuracy is resilient to moderate churn (cold twins\n\
+         # fall back to calibrated priors) while grouping quality (silhouette)\n\
+         # erodes first — cold twins have no history to separate on."
+    );
+}

@@ -1,0 +1,57 @@
+//! E6 (extension, the paper's future work): resource reservation from the
+//! predicted demand — coverage vs idle capacity across headrooms, for the
+//! DT scheme and the historical-mean baseline.
+//!
+//! ```text
+//! cargo run --release -p msvs-bench --bin exp_reservation
+//! ```
+
+use msvs_bench::paper_scenario;
+use msvs_core::ReservationPolicy;
+use msvs_sim::{DemandPredictorKind, Simulation};
+
+fn row(kind: DemandPredictorKind, headroom: f64, seed: u64) -> (f64, f64) {
+    let cfg = msvs_sim::SimulationConfig {
+        predictor: kind,
+        reservation: Some(ReservationPolicy {
+            headroom,
+            ..Default::default()
+        }),
+        ..paper_scenario(120, 10, seed)
+    };
+    let r = Simulation::run(cfg).expect("simulation runs");
+    (
+        r.reservation_coverage().expect("policy configured"),
+        r.reservation_idle().unwrap_or(0.0),
+    )
+}
+
+fn main() {
+    println!("# E6 — reservation from predicted demand (coverage / idle %)");
+    println!(
+        "{:>9} {:>22} {:>22}",
+        "headroom", "DT scheme", "historical mean"
+    );
+    for headroom in [0.0, 0.05, 0.10, 0.20, 0.35] {
+        let (sc, si) = row(DemandPredictorKind::Scheme, headroom, 42);
+        let (hc, hi) = row(
+            DemandPredictorKind::HistoricalMean { alpha: 0.3 },
+            headroom,
+            42,
+        );
+        println!(
+            "{:>8.0}% {:>12.0}% /{:>5.1}% {:>12.0}% /{:>5.1}%",
+            100.0 * headroom,
+            100.0 * sc,
+            100.0 * si,
+            100.0 * hc,
+            100.0 * hi,
+        );
+    }
+    println!(
+        "\n# expectation: the scheme needs a much smaller headroom to reach\n\
+         # full coverage (its errors are small and symmetric), so it wastes\n\
+         # less reserved-but-idle capacity than the EWMA baseline at the\n\
+         # same coverage target."
+    );
+}

@@ -1,0 +1,60 @@
+//! E9 (extension): channel-condition estimation under mobility — the
+//! twin's recent-mean SNR vs dead-reckoned extrapolation to the interval
+//! midpoint, swept over walking speed.
+//!
+//! The faster users move, the staler a recent-mean estimate becomes over a
+//! 5-minute reservation interval; a digital twin that *predicts* its
+//! user's position should close that gap.
+//!
+//! ```text
+//! cargo run --release -p msvs-bench --bin exp_snr_estimator
+//! ```
+
+use msvs_bench::{mean_std, paper_scenario};
+use msvs_core::SnrEstimator;
+use msvs_sim::Simulation;
+
+fn accuracy(estimator: SnrEstimator, speed: f64, seeds: &[u64]) -> (f64, f64) {
+    let accs: Vec<f64> = seeds
+        .iter()
+        .map(|&s| {
+            let mut cfg = paper_scenario(120, 10, s);
+            cfg.mean_speed = speed;
+            cfg.scheme.snr_estimator = estimator;
+            100.0
+                * Simulation::run(cfg)
+                    .expect("simulation runs")
+                    .mean_radio_accuracy()
+        })
+        .collect();
+    mean_std(&accs)
+}
+
+fn main() {
+    let seeds = [7u64, 42, 99];
+    println!("# E9 — radio accuracy (%) vs walking speed, per SNR estimator");
+    println!(
+        "{:>12} {:>18} {:>20}",
+        "speed (m/s)", "recent mean", "extrapolated"
+    );
+    for speed in [0.5, 1.4, 3.0, 6.0] {
+        let (rm, rsd) = accuracy(SnrEstimator::default(), speed, &seeds);
+        let (em, esd) = accuracy(
+            SnrEstimator::Extrapolated {
+                fading_offset_db: -2.5,
+            },
+            speed,
+            &seeds,
+        );
+        println!("{speed:>12.1} {rm:>13.1}±{rsd:<4.1} {em:>15.1}±{esd:<4.1}");
+    }
+    println!(
+        "\n# finding (negative result): naive dead-reckoning over a half-\n\
+         # interval horizon HURTS under random-waypoint mobility, and hurts\n\
+         # more the faster users move — a two-sample velocity estimate\n\
+         # overshoots destinations and pause phases badly, while the\n\
+         # recent-mean stays robust because group min-efficiency is\n\
+         # near-ergodic over the campus. A useful twin-side predictor\n\
+         # needs an actual trajectory model, not linear extrapolation."
+    );
+}

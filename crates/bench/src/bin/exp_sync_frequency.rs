@@ -1,0 +1,42 @@
+//! E4 (extension): the value of the digital twin — prediction accuracy vs
+//! UDT collection frequency, against the signalling cost the collection
+//! incurs.
+//!
+//! Scaling every per-attribute period by `f` makes twins `f`× staler;
+//! the experiment shows the accuracy/signalling trade-off the paper's
+//! per-attribute-frequency design is about.
+//!
+//! ```text
+//! cargo run --release -p msvs-bench --bin exp_sync_frequency
+//! ```
+
+use msvs_bench::{mean_std, paper_scenario};
+use msvs_sim::Simulation;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("# E4 — accuracy vs UDT collection frequency");
+    println!(
+        "{:>12} {:>18} {:>20}",
+        "period x", "radio acc (%)", "updates/interval"
+    );
+    for factor in [1.0, 2.0, 4.0, 8.0, 16.0, 48.0] {
+        let seeds = [7u64, 42];
+        let mut accs = Vec::new();
+        let mut upd = 0.0;
+        for &s in &seeds {
+            let mut cfg = paper_scenario(120, 10, s);
+            cfg.collection = cfg.collection.scaled(factor);
+            let r = Simulation::run(cfg)?;
+            accs.push(100.0 * r.mean_radio_accuracy());
+            upd = r.mean_updates_sent();
+        }
+        let (m, sd) = mean_std(&accs);
+        println!("{factor:>12.0} {m:>13.1}±{sd:<4.1} {upd:>20.0}");
+    }
+    println!(
+        "\n# expectation: accuracy degrades as twins go stale (channel and\n\
+         # preference drift unseen), while signalling cost falls — the knee\n\
+         # justifies frequent channel collection with slower preference sync."
+    );
+    Ok(())
+}

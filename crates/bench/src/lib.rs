@@ -1,0 +1,76 @@
+//! Shared fixtures for the experiment harnesses and criterion benches.
+//!
+//! Each binary in `src/bin/` regenerates one figure or table (see
+//! DESIGN.md's experiment index); the helpers here keep their scenario
+//! construction identical so results are comparable across experiments.
+
+use msvs_sim::SimulationConfig;
+
+/// The paper's evaluation scenario: Waterloo campus, 5-minute reservation
+/// intervals, 120 users unless overridden.
+pub fn paper_scenario(n_users: usize, n_intervals: usize, seed: u64) -> SimulationConfig {
+    SimulationConfig {
+        n_users,
+        n_intervals,
+        warmup_intervals: 2,
+        seed,
+        ..Default::default()
+    }
+}
+
+/// Synthetic user-embedding population with `k_true` latent archetypes,
+/// used by the grouping experiments and benches.
+pub fn archetype_features(
+    k_true: usize,
+    per_archetype: usize,
+    spread: f64,
+    seed: u64,
+) -> Vec<Vec<f64>> {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::new();
+    for c in 0..k_true {
+        let center: Vec<f64> = (0..12)
+            .map(|d| (((c * 13 + d * 7) % 11) as f64) * 1.5)
+            .collect();
+        for _ in 0..per_archetype {
+            out.push(
+                center
+                    .iter()
+                    .map(|&x| x + msvs_types::stats::normal(&mut rng, 0.0, spread))
+                    .collect(),
+            );
+        }
+    }
+    out
+}
+
+/// Mean of per-seed results with its sample standard deviation.
+pub fn mean_std(xs: &[f64]) -> (f64, f64) {
+    (msvs_types::stats::mean(xs), msvs_types::stats::std_dev(xs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_scenario_is_valid() {
+        paper_scenario(40, 3, 1).validate().unwrap();
+    }
+
+    #[test]
+    fn archetype_features_shape() {
+        let f = archetype_features(3, 10, 0.3, 1);
+        assert_eq!(f.len(), 30);
+        assert!(f.iter().all(|v| v.len() == 12));
+    }
+
+    #[test]
+    fn mean_std_sane() {
+        let (m, s) = mean_std(&[1.0, 1.0, 1.0]);
+        assert_eq!(m, 1.0);
+        assert_eq!(s, 0.0);
+    }
+}

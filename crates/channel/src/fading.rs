@@ -1,0 +1,130 @@
+//! Small-scale fading.
+
+use rand::Rng;
+
+/// A small-scale fading process producing multiplicative *power* gains
+/// (linear, mean 1).
+pub trait Fading: Send {
+    /// Draws one power gain sample (linear scale, `E[g] = 1`).
+    fn sample_power_gain<R: Rng + ?Sized>(&self, rng: &mut R) -> f64
+    where
+        Self: Sized;
+
+    /// The gain averaged over fading (always 1 for normalised processes).
+    fn mean_power_gain(&self) -> f64 {
+        1.0
+    }
+}
+
+/// Rayleigh fading: no line of sight; power gain is Exp(1).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RayleighFading;
+
+impl RayleighFading {
+    /// Builds a Rayleigh fading process.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl Fading for RayleighFading {
+    fn sample_power_gain<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        msvs_types::stats::exponential(rng, 1.0)
+    }
+}
+
+/// Rician fading with factor `k` (ratio of line-of-sight to scattered
+/// power). `k = 0` degenerates to Rayleigh; large `k` approaches a constant
+/// unit gain.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RicianFading {
+    k: f64,
+}
+
+impl RicianFading {
+    /// Builds a Rician process with factor `k >= 0`.
+    ///
+    /// # Panics
+    /// Panics if `k` is negative or non-finite.
+    pub fn new(k: f64) -> Self {
+        assert!(k.is_finite() && k >= 0.0, "rician k must be non-negative");
+        Self { k }
+    }
+
+    /// The Rician K factor.
+    pub fn k(&self) -> f64 {
+        self.k
+    }
+}
+
+impl Fading for RicianFading {
+    fn sample_power_gain<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Complex Gaussian with LOS component, normalised to unit mean power:
+        // h = sqrt(k/(k+1)) + CN(0, 1/(k+1)); gain = |h|^2.
+        let los = (self.k / (self.k + 1.0)).sqrt();
+        let sigma = (1.0 / (2.0 * (self.k + 1.0))).sqrt();
+        let re = los + sigma * msvs_types::stats::standard_normal(rng);
+        let im = sigma * msvs_types::stats::standard_normal(rng);
+        re * re + im * im
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn empirical_mean<F: Fading>(f: &F, n: usize) -> f64 {
+        let mut rng = StdRng::seed_from_u64(3);
+        let xs: Vec<f64> = (0..n).map(|_| f.sample_power_gain(&mut rng)).collect();
+        msvs_types::stats::mean(&xs)
+    }
+
+    #[test]
+    fn rayleigh_power_gain_has_unit_mean() {
+        let m = empirical_mean(&RayleighFading::new(), 40_000);
+        assert!((m - 1.0).abs() < 0.03, "mean {m}");
+    }
+
+    #[test]
+    fn rician_power_gain_has_unit_mean() {
+        for k in [0.0, 1.0, 5.0, 20.0] {
+            let m = empirical_mean(&RicianFading::new(k), 40_000);
+            assert!((m - 1.0).abs() < 0.03, "k={k} mean {m}");
+        }
+    }
+
+    #[test]
+    fn rician_variance_shrinks_with_k() {
+        let variance = |k: f64| {
+            let mut rng = StdRng::seed_from_u64(5);
+            let f = RicianFading::new(k);
+            let xs: Vec<f64> = (0..20_000).map(|_| f.sample_power_gain(&mut rng)).collect();
+            msvs_types::stats::std_dev(&xs).powi(2)
+        };
+        let v0 = variance(0.0);
+        let v10 = variance(10.0);
+        assert!(
+            v10 < v0 / 3.0,
+            "k=10 var {v10} should be far below k=0 var {v0}"
+        );
+    }
+
+    #[test]
+    fn gains_are_nonnegative() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let ray = RayleighFading::new();
+        let ric = RicianFading::new(3.0);
+        for _ in 0..1000 {
+            assert!(ray.sample_power_gain(&mut rng) >= 0.0);
+            assert!(ric.sample_power_gain(&mut rng) >= 0.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_k_panics() {
+        let _ = RicianFading::new(-1.0);
+    }
+}

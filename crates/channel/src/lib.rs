@@ -1,0 +1,35 @@
+//! Wireless channel substrate.
+//!
+//! Radio resource demand in the paper is "how many resource blocks must be
+//! reserved to carry a multicast group's video traffic". That number falls
+//! out of a standard link-budget chain, which this crate implements from
+//! textbook models:
+//!
+//! 1. [`pathloss`] — log-distance path loss with log-normal shadowing;
+//! 2. [`fading`] — small-scale Rayleigh/Rician power fading;
+//! 3. [`link`] — SNR computation and the 3GPP-style CQI table mapping SNR
+//!    to spectral efficiency;
+//! 4. [`multicast`] — conventional multicast (group rate limited by the
+//!    worst member) and the unicast baseline.
+//!
+//! # Examples
+//!
+//! ```
+//! use msvs_channel::{LinkConfig, Link};
+//! use msvs_types::Meters;
+//!
+//! let link = Link::new(LinkConfig::default());
+//! let near = link.mean_snr_db(Meters(50.0));
+//! let far = link.mean_snr_db(Meters(500.0));
+//! assert!(near > far, "SNR degrades with distance");
+//! ```
+
+pub mod fading;
+pub mod link;
+pub mod multicast;
+pub mod pathloss;
+
+pub use fading::{Fading, RayleighFading, RicianFading};
+pub use link::{FadingKind, Link, LinkConfig};
+pub use multicast::{group_resource_demand, unicast_resource_demand, worst_user_efficiency};
+pub use pathloss::PathLossModel;

@@ -1,0 +1,134 @@
+//! Multicast and unicast radio resource accounting.
+//!
+//! Conventional multicast transmits one stream per group at a rate every
+//! member can decode, so the *worst* member's spectral efficiency governs
+//! the resource-block cost. Unicast (the baseline) sends a private stream
+//! per user at that user's own efficiency.
+
+use msvs_types::{Hertz, Mbps, ResourceBlocks};
+
+/// The lowest spectral efficiency among group members.
+///
+/// Returns `None` for an empty group. Members in outage (efficiency 0)
+/// dominate and yield `Some(0.0)`.
+pub fn worst_user_efficiency(efficiencies: &[f64]) -> Option<f64> {
+    efficiencies
+        .iter()
+        .copied()
+        .fold(None, |acc: Option<f64>, e| {
+            Some(match acc {
+                None => e,
+                Some(a) => a.min(e),
+            })
+        })
+}
+
+/// Resource blocks needed to multicast `rate` to a group whose worst member
+/// has spectral efficiency `min_efficiency` (bits/s/Hz) over RBs of width
+/// `rb_bandwidth`.
+///
+/// Returns `ResourceBlocks(f64::INFINITY)` when the group is in outage
+/// (`min_efficiency <= 0`) but traffic is non-zero — the caller decides how
+/// to handle infeasible groups.
+///
+/// # Panics
+/// Panics if `rate` is negative or `rb_bandwidth` is not positive.
+pub fn group_resource_demand(
+    rate: Mbps,
+    min_efficiency: f64,
+    rb_bandwidth: Hertz,
+) -> ResourceBlocks {
+    assert!(rate.value() >= 0.0, "rate must be non-negative");
+    assert!(rb_bandwidth.value() > 0.0, "rb bandwidth must be positive");
+    if rate.value() == 0.0 {
+        return ResourceBlocks::ZERO;
+    }
+    if min_efficiency <= 0.0 {
+        return ResourceBlocks(f64::INFINITY);
+    }
+    ResourceBlocks(rate.as_bits_per_sec() / (min_efficiency * rb_bandwidth.value()))
+}
+
+/// Resource blocks needed to unicast per-user rates at per-user
+/// efficiencies (the non-multicast baseline).
+///
+/// Users in outage contribute `f64::INFINITY`.
+///
+/// # Panics
+/// Panics if slice lengths differ or `rb_bandwidth` is not positive.
+pub fn unicast_resource_demand(
+    rates: &[Mbps],
+    efficiencies: &[f64],
+    rb_bandwidth: Hertz,
+) -> ResourceBlocks {
+    assert_eq!(
+        rates.len(),
+        efficiencies.len(),
+        "one efficiency per user rate"
+    );
+    rates
+        .iter()
+        .zip(efficiencies)
+        .map(|(&r, &e)| group_resource_demand(r, e, rb_bandwidth))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const RB: Hertz = Hertz(180_000.0);
+
+    #[test]
+    fn worst_user_rules() {
+        assert_eq!(worst_user_efficiency(&[2.0, 0.5, 3.0]), Some(0.5));
+        assert_eq!(worst_user_efficiency(&[]), None);
+        assert_eq!(worst_user_efficiency(&[1.0, 0.0]), Some(0.0));
+    }
+
+    #[test]
+    fn demand_matches_hand_calc() {
+        // 1.8 Mbps at 2 bits/s/Hz over 180 kHz RBs: 1.8e6 / (2*1.8e5) = 5 RB.
+        let d = group_resource_demand(Mbps(1.8), 2.0, RB);
+        assert!((d.value() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_rate_needs_nothing_even_in_outage() {
+        assert_eq!(
+            group_resource_demand(Mbps(0.0), 0.0, RB),
+            ResourceBlocks::ZERO
+        );
+    }
+
+    #[test]
+    fn outage_with_traffic_is_infinite() {
+        assert!(group_resource_demand(Mbps(1.0), 0.0, RB)
+            .value()
+            .is_infinite());
+    }
+
+    #[test]
+    fn multicast_beats_unicast_for_identical_users() {
+        // 10 users all wanting the same 2 Mbps stream at efficiency 2.0.
+        let rates = vec![Mbps(2.0); 10];
+        let effs = vec![2.0; 10];
+        let uni = unicast_resource_demand(&rates, &effs, RB);
+        let multi = group_resource_demand(Mbps(2.0), 2.0, RB);
+        assert!((uni.value() - 10.0 * multi.value()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn multicast_degrades_with_one_bad_user() {
+        let good = group_resource_demand(Mbps(2.0), 4.0, RB);
+        let min_eff = worst_user_efficiency(&[4.0, 4.0, 0.5]).unwrap();
+        let degraded = group_resource_demand(Mbps(2.0), min_eff, RB);
+        assert!(degraded.value() > good.value() * 7.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "one efficiency per user")]
+    fn unicast_length_mismatch_panics() {
+        let _ = unicast_resource_demand(&[Mbps(1.0)], &[1.0, 2.0], RB);
+    }
+}

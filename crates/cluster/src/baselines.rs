@@ -1,0 +1,161 @@
+//! Classical group-count selection baselines and degenerate groupers.
+//!
+//! The paper claims its DDQN chooses the grouping number faster than
+//! exhaustive analysis; these are the exhaustive/classical alternatives the
+//! extension experiments (E2 in DESIGN.md) compare against.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::kmeanspp::{KMeans, KMeansConfig};
+use crate::metrics::silhouette;
+
+/// Picks `k` by the elbow rule: the smallest `k` whose relative inertia
+/// improvement over `k-1` drops below `threshold`.
+///
+/// Scans `k` in `k_min..=k_max`, running a full K-means fit per candidate.
+///
+/// # Errors
+/// Propagates K-means errors; returns `InvalidConfig` if the range is empty
+/// or `k_min < 1`.
+pub fn elbow_k(
+    points: &[Vec<f64>],
+    k_min: usize,
+    k_max: usize,
+    threshold: f64,
+    seed: u64,
+) -> msvs_types::Result<usize> {
+    if k_min < 1 || k_max < k_min {
+        return Err(msvs_types::Error::invalid_config(
+            "k range",
+            format!("need 1 <= k_min <= k_max, got {k_min}..={k_max}"),
+        ));
+    }
+    let mut prev_inertia: Option<f64> = None;
+    let mut best = k_min;
+    for k in k_min..=k_max.min(points.len()) {
+        let fit = KMeans::new(KMeansConfig {
+            k,
+            seed,
+            ..Default::default()
+        })
+        .fit(points)?;
+        if let Some(prev) = prev_inertia {
+            let improvement = if prev > 0.0 {
+                (prev - fit.inertia) / prev
+            } else {
+                0.0
+            };
+            if improvement < threshold {
+                return Ok(best);
+            }
+        }
+        best = k;
+        prev_inertia = Some(fit.inertia);
+    }
+    Ok(best)
+}
+
+/// Picks `k` by exhaustive silhouette maximisation over `k_min..=k_max`.
+///
+/// This is the "accurate but slow" baseline: one full K-means fit plus an
+/// O(n²) silhouette evaluation per candidate `k`.
+///
+/// # Errors
+/// Propagates K-means errors; returns `InvalidConfig` for an empty range.
+pub fn silhouette_scan_k(
+    points: &[Vec<f64>],
+    k_min: usize,
+    k_max: usize,
+    seed: u64,
+) -> msvs_types::Result<(usize, f64)> {
+    if k_min < 2 || k_max < k_min {
+        return Err(msvs_types::Error::invalid_config(
+            "k range",
+            format!("need 2 <= k_min <= k_max, got {k_min}..={k_max}"),
+        ));
+    }
+    let mut best = (k_min, f64::MIN);
+    for k in k_min..=k_max.min(points.len()) {
+        let fit = KMeans::new(KMeansConfig {
+            k,
+            seed,
+            ..Default::default()
+        })
+        .fit(points)?;
+        let s = silhouette(points, &fit.assignments);
+        if s > best.1 {
+            best = (k, s);
+        }
+    }
+    Ok(best)
+}
+
+/// Assigns each of `n` points to one of `k` groups uniformly at random.
+///
+/// The degenerate grouping baseline (E1/E2).
+///
+/// # Panics
+/// Panics if `k == 0`.
+pub fn random_assignments(n: usize, k: usize, seed: u64) -> Vec<usize> {
+    assert!(k > 0, "k must be positive");
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.gen_range(0..k)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn three_blobs() -> Vec<Vec<f64>> {
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut pts = Vec::new();
+        for &(cx, cy) in &[(0.0, 0.0), (20.0, 0.0), (0.0, 20.0)] {
+            for _ in 0..25 {
+                pts.push(vec![
+                    cx + msvs_types::stats::normal(&mut rng, 0.0, 0.5),
+                    cy + msvs_types::stats::normal(&mut rng, 0.0, 0.5),
+                ]);
+            }
+        }
+        pts
+    }
+
+    #[test]
+    fn silhouette_scan_finds_true_k() {
+        let pts = three_blobs();
+        let (k, score) = silhouette_scan_k(&pts, 2, 8, 1).unwrap();
+        assert_eq!(k, 3);
+        assert!(score > 0.8);
+    }
+
+    #[test]
+    fn elbow_finds_reasonable_k() {
+        let pts = three_blobs();
+        let k = elbow_k(&pts, 1, 8, 0.15, 1).unwrap();
+        assert!(
+            (2..=4).contains(&k),
+            "elbow should land near the true k=3, got {k}"
+        );
+    }
+
+    #[test]
+    fn elbow_rejects_bad_range() {
+        let pts = three_blobs();
+        assert!(elbow_k(&pts, 0, 3, 0.1, 0).is_err());
+        assert!(elbow_k(&pts, 5, 3, 0.1, 0).is_err());
+        assert!(silhouette_scan_k(&pts, 1, 3, 0).is_err());
+    }
+
+    #[test]
+    fn random_assignments_cover_range() {
+        let a = random_assignments(1000, 4, 7);
+        assert_eq!(a.len(), 1000);
+        for g in 0..4 {
+            assert!(a.contains(&g), "group {g} unused");
+        }
+        assert!(a.iter().all(|&x| x < 4));
+        // Deterministic.
+        assert_eq!(a, random_assignments(1000, 4, 7));
+    }
+}

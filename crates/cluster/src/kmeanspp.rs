@@ -1,0 +1,369 @@
+//! K-means with K-means++ seeding (Arthur & Vassilvitskii, 2007).
+
+use msvs_types::{Error, Result};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for a [`KMeans`] run.
+#[derive(Debug, Clone)]
+pub struct KMeansConfig {
+    /// Number of clusters.
+    pub k: usize,
+    /// Maximum Lloyd iterations.
+    pub max_iters: usize,
+    /// Convergence threshold on total centroid movement (squared distance).
+    pub tolerance: f64,
+    /// RNG seed for seeding and empty-cluster repair.
+    pub seed: u64,
+}
+
+impl Default for KMeansConfig {
+    fn default() -> Self {
+        Self {
+            k: 2,
+            max_iters: 100,
+            tolerance: 1e-8,
+            seed: 0,
+        }
+    }
+}
+
+/// Outcome of a K-means fit.
+#[derive(Debug, Clone)]
+pub struct KMeansResult {
+    /// Final centroids, `k` rows of dimension `d`.
+    pub centroids: Vec<Vec<f64>>,
+    /// Cluster index of each input point.
+    pub assignments: Vec<usize>,
+    /// Sum of squared distances of points to their centroid.
+    pub inertia: f64,
+    /// Number of Lloyd iterations executed.
+    pub iterations: usize,
+    /// Whether the run converged before `max_iters`.
+    pub converged: bool,
+}
+
+impl KMeansResult {
+    /// Number of points in each cluster.
+    pub fn cluster_sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.centroids.len()];
+        for &a in &self.assignments {
+            sizes[a] += 1;
+        }
+        sizes
+    }
+
+    /// Members of each cluster, as indices into the input point set.
+    pub fn cluster_members(&self) -> Vec<Vec<usize>> {
+        let mut members = vec![Vec::new(); self.centroids.len()];
+        for (i, &a) in self.assignments.iter().enumerate() {
+            members[a].push(i);
+        }
+        members
+    }
+}
+
+/// The K-means++ clusterer.
+#[derive(Debug, Clone)]
+pub struct KMeans {
+    config: KMeansConfig,
+}
+
+fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+impl KMeans {
+    /// Builds a clusterer with the given configuration.
+    pub fn new(config: KMeansConfig) -> Self {
+        Self { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &KMeansConfig {
+        &self.config
+    }
+
+    /// Clusters `points` into `k` groups.
+    ///
+    /// # Errors
+    /// - [`Error::InvalidConfig`] if `k == 0` or `max_iters == 0`;
+    /// - [`Error::InsufficientData`] if there are fewer points than `k`;
+    /// - [`Error::ShapeMismatch`] if points have inconsistent dimensions.
+    pub fn fit(&self, points: &[Vec<f64>]) -> Result<KMeansResult> {
+        let k = self.config.k;
+        if k == 0 {
+            return Err(Error::invalid_config("k", "must be positive"));
+        }
+        if self.config.max_iters == 0 {
+            return Err(Error::invalid_config("max_iters", "must be positive"));
+        }
+        if points.len() < k {
+            return Err(Error::insufficient(format!(
+                "need at least k={k} points, got {}",
+                points.len()
+            )));
+        }
+        let dim = points[0].len();
+        if dim == 0 {
+            return Err(Error::shape("dimension >= 1", "0"));
+        }
+        if let Some(bad) = points.iter().find(|p| p.len() != dim) {
+            return Err(Error::shape(
+                format!("dimension {dim}"),
+                format!("{}", bad.len()),
+            ));
+        }
+
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let mut centroids = self.seed_centroids(points, &mut rng);
+        let mut assignments = vec![0usize; points.len()];
+        let mut iterations = 0;
+        let mut converged = false;
+
+        for iter in 0..self.config.max_iters {
+            iterations = iter + 1;
+            // Assignment step.
+            for (i, p) in points.iter().enumerate() {
+                let mut best = 0;
+                let mut best_d = f64::MAX;
+                for (c, centroid) in centroids.iter().enumerate() {
+                    let d = sq_dist(p, centroid);
+                    if d < best_d {
+                        best_d = d;
+                        best = c;
+                    }
+                }
+                assignments[i] = best;
+            }
+            // Update step.
+            let mut sums = vec![vec![0.0; dim]; k];
+            let mut counts = vec![0usize; k];
+            for (p, &a) in points.iter().zip(&assignments) {
+                counts[a] += 1;
+                for (s, &x) in sums[a].iter_mut().zip(p) {
+                    *s += x;
+                }
+            }
+            let mut movement = 0.0;
+            for c in 0..k {
+                if counts[c] == 0 {
+                    // Empty cluster: re-seed at the point farthest from its
+                    // current centroid (standard repair).
+                    let far = points
+                        .iter()
+                        .enumerate()
+                        .max_by(|(_, a), (_, b)| {
+                            sq_dist(a, &centroids[assignments[0]])
+                                .partial_cmp(&sq_dist(b, &centroids[assignments[0]]))
+                                .expect("finite distances")
+                        })
+                        .map(|(i, _)| i)
+                        .unwrap_or_else(|| rng.gen_range(0..points.len()));
+                    movement += sq_dist(&centroids[c], &points[far]);
+                    centroids[c] = points[far].clone();
+                    continue;
+                }
+                let new: Vec<f64> = sums[c].iter().map(|s| s / counts[c] as f64).collect();
+                movement += sq_dist(&centroids[c], &new);
+                centroids[c] = new;
+            }
+            if movement <= self.config.tolerance {
+                converged = true;
+                break;
+            }
+        }
+
+        // Final assignment against the converged centroids.
+        let mut inertia = 0.0;
+        for (i, p) in points.iter().enumerate() {
+            let mut best = 0;
+            let mut best_d = f64::MAX;
+            for (c, centroid) in centroids.iter().enumerate() {
+                let d = sq_dist(p, centroid);
+                if d < best_d {
+                    best_d = d;
+                    best = c;
+                }
+            }
+            assignments[i] = best;
+            inertia += best_d;
+        }
+
+        Ok(KMeansResult {
+            centroids,
+            assignments,
+            inertia,
+            iterations,
+            converged,
+        })
+    }
+
+    /// K-means++ seeding: first centroid uniform, then each next centroid
+    /// sampled with probability proportional to D²(x).
+    fn seed_centroids(&self, points: &[Vec<f64>], rng: &mut StdRng) -> Vec<Vec<f64>> {
+        let k = self.config.k;
+        let mut centroids: Vec<Vec<f64>> = Vec::with_capacity(k);
+        centroids.push(points[rng.gen_range(0..points.len())].clone());
+        let mut d2: Vec<f64> = points.iter().map(|p| sq_dist(p, &centroids[0])).collect();
+        while centroids.len() < k {
+            let idx = msvs_types::stats::weighted_index(rng, &d2)
+                .unwrap_or_else(|| rng.gen_range(0..points.len()));
+            centroids.push(points[idx].clone());
+            let newest = centroids.last().expect("just pushed");
+            for (d, p) in d2.iter_mut().zip(points) {
+                *d = d.min(sq_dist(p, newest));
+            }
+        }
+        centroids
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blobs(centers: &[(f64, f64)], per: usize, spread: f64, seed: u64) -> Vec<Vec<f64>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut pts = Vec::new();
+        for &(cx, cy) in centers {
+            for _ in 0..per {
+                pts.push(vec![
+                    cx + msvs_types::stats::normal(&mut rng, 0.0, spread),
+                    cy + msvs_types::stats::normal(&mut rng, 0.0, spread),
+                ]);
+            }
+        }
+        pts
+    }
+
+    #[test]
+    fn recovers_well_separated_blobs() {
+        let pts = blobs(&[(0.0, 0.0), (10.0, 0.0), (0.0, 10.0)], 30, 0.3, 7);
+        let result = KMeans::new(KMeansConfig {
+            k: 3,
+            seed: 3,
+            ..Default::default()
+        })
+        .fit(&pts)
+        .unwrap();
+        assert!(result.converged);
+        // Every blob should be pure: all 30 members share one label.
+        for blob in 0..3 {
+            let first = result.assignments[blob * 30];
+            for i in 0..30 {
+                assert_eq!(result.assignments[blob * 30 + i], first, "blob {blob}");
+            }
+        }
+        let sizes = result.cluster_sizes();
+        assert_eq!(sizes, vec![30, 30, 30]);
+    }
+
+    #[test]
+    fn inertia_decreases_with_k() {
+        let pts = blobs(&[(0.0, 0.0), (8.0, 8.0)], 40, 1.0, 1);
+        let inertia_at = |k: usize| {
+            KMeans::new(KMeansConfig {
+                k,
+                seed: 5,
+                ..Default::default()
+            })
+            .fit(&pts)
+            .unwrap()
+            .inertia
+        };
+        let i1 = inertia_at(1);
+        let i2 = inertia_at(2);
+        let i4 = inertia_at(4);
+        assert!(i2 < i1);
+        assert!(i4 <= i2 + 1e-9);
+    }
+
+    #[test]
+    fn k_equals_n_gives_zero_inertia() {
+        let pts = vec![vec![0.0], vec![1.0], vec![2.0]];
+        let result = KMeans::new(KMeansConfig {
+            k: 3,
+            seed: 0,
+            ..Default::default()
+        })
+        .fit(&pts)
+        .unwrap();
+        assert!(result.inertia < 1e-12);
+        let mut sizes = result.cluster_sizes();
+        sizes.sort();
+        assert_eq!(sizes, vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let pts = blobs(&[(0.0, 0.0), (5.0, 5.0)], 25, 0.5, 2);
+        let fit = |seed| {
+            KMeans::new(KMeansConfig {
+                k: 2,
+                seed,
+                ..Default::default()
+            })
+            .fit(&pts)
+            .unwrap()
+            .assignments
+        };
+        assert_eq!(fit(9), fit(9));
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let pts = vec![vec![0.0, 1.0], vec![1.0, 0.0]];
+        assert!(KMeans::new(KMeansConfig {
+            k: 0,
+            ..Default::default()
+        })
+        .fit(&pts)
+        .is_err());
+        assert!(KMeans::new(KMeansConfig {
+            k: 3,
+            ..Default::default()
+        })
+        .fit(&pts)
+        .is_err());
+        let ragged = vec![vec![0.0, 1.0], vec![1.0]];
+        assert!(KMeans::new(KMeansConfig {
+            k: 2,
+            ..Default::default()
+        })
+        .fit(&ragged)
+        .is_err());
+    }
+
+    #[test]
+    fn cluster_members_partition_points() {
+        let pts = blobs(&[(0.0, 0.0), (6.0, 6.0)], 10, 0.2, 3);
+        let result = KMeans::new(KMeansConfig {
+            k: 2,
+            seed: 1,
+            ..Default::default()
+        })
+        .fit(&pts)
+        .unwrap();
+        let members = result.cluster_members();
+        let total: usize = members.iter().map(|m| m.len()).sum();
+        assert_eq!(total, pts.len());
+        let mut all: Vec<usize> = members.into_iter().flatten().collect();
+        all.sort();
+        assert_eq!(all, (0..pts.len()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn duplicate_points_dont_crash() {
+        let pts = vec![vec![1.0, 1.0]; 10];
+        let result = KMeans::new(KMeansConfig {
+            k: 3,
+            seed: 4,
+            ..Default::default()
+        })
+        .fit(&pts)
+        .unwrap();
+        assert_eq!(result.assignments.len(), 10);
+        assert!(result.inertia < 1e-12);
+    }
+}

@@ -1,0 +1,356 @@
+//! Clustering-quality metrics.
+
+fn dist(a: &[f64], b: &[f64]) -> f64 {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum::<f64>()
+        .sqrt()
+}
+
+/// Mean silhouette coefficient over all points, in `[-1, 1]`.
+///
+/// Higher is better. Points in singleton clusters contribute 0, matching the
+/// scikit-learn convention. Returns 0.0 when there are fewer than 2 clusters
+/// or fewer than 2 points (the score is undefined there; 0 is the neutral
+/// reward for the DDQN).
+///
+/// # Panics
+/// Panics if `assignments.len() != points.len()`.
+pub fn silhouette(points: &[Vec<f64>], assignments: &[usize]) -> f64 {
+    assert_eq!(points.len(), assignments.len(), "one assignment per point");
+    let n = points.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let k = assignments.iter().max().map_or(0, |m| m + 1);
+    let mut sizes = vec![0usize; k];
+    for &a in assignments {
+        sizes[a] += 1;
+    }
+    if sizes.iter().filter(|&&s| s > 0).count() < 2 {
+        return 0.0;
+    }
+
+    let mut total = 0.0;
+    for i in 0..n {
+        let own = assignments[i];
+        if sizes[own] <= 1 {
+            continue; // contributes 0
+        }
+        // Mean distance to own cluster (a) and nearest other cluster (b).
+        let mut sum_per_cluster = vec![0.0f64; k];
+        for j in 0..n {
+            if i == j {
+                continue;
+            }
+            sum_per_cluster[assignments[j]] += dist(&points[i], &points[j]);
+        }
+        let a = sum_per_cluster[own] / (sizes[own] - 1) as f64;
+        let b = (0..k)
+            .filter(|&c| c != own && sizes[c] > 0)
+            .map(|c| sum_per_cluster[c] / sizes[c] as f64)
+            .fold(f64::MAX, f64::min);
+        let denom = a.max(b);
+        if denom > 0.0 {
+            total += (b - a) / denom;
+        }
+    }
+    total / n as f64
+}
+
+/// Davies–Bouldin index (lower is better; 0 is ideal).
+///
+/// Returns `f64::INFINITY` when any two centroids coincide, and 0.0 when
+/// there are fewer than 2 non-empty clusters.
+///
+/// # Panics
+/// Panics if `assignments.len() != points.len()`.
+pub fn davies_bouldin(points: &[Vec<f64>], assignments: &[usize]) -> f64 {
+    assert_eq!(points.len(), assignments.len(), "one assignment per point");
+    if points.is_empty() {
+        return 0.0;
+    }
+    let k = assignments.iter().max().map_or(0, |m| m + 1);
+    let dim = points[0].len();
+    let mut centroids = vec![vec![0.0; dim]; k];
+    let mut sizes = vec![0usize; k];
+    for (p, &a) in points.iter().zip(assignments) {
+        sizes[a] += 1;
+        for (c, &x) in centroids[a].iter_mut().zip(p) {
+            *c += x;
+        }
+    }
+    let live: Vec<usize> = (0..k).filter(|&c| sizes[c] > 0).collect();
+    if live.len() < 2 {
+        return 0.0;
+    }
+    for &c in &live {
+        for v in &mut centroids[c] {
+            *v /= sizes[c] as f64;
+        }
+    }
+    // Mean intra-cluster scatter.
+    let mut scatter = vec![0.0f64; k];
+    for (p, &a) in points.iter().zip(assignments) {
+        scatter[a] += dist(p, &centroids[a]);
+    }
+    for &c in &live {
+        scatter[c] /= sizes[c] as f64;
+    }
+
+    let mut db = 0.0;
+    for &i in &live {
+        let mut worst: f64 = 0.0;
+        for &j in &live {
+            if i == j {
+                continue;
+            }
+            let sep = dist(&centroids[i], &centroids[j]);
+            let ratio = if sep > 0.0 {
+                (scatter[i] + scatter[j]) / sep
+            } else {
+                f64::INFINITY
+            };
+            worst = worst.max(ratio);
+        }
+        db += worst;
+    }
+    db / live.len() as f64
+}
+
+/// Rand index between two clusterings of the same items, in `[0, 1]`.
+///
+/// The fraction of item pairs treated consistently (together in both or
+/// apart in both). 1.0 means identical partitions (up to relabeling).
+/// Used to measure multicast-group stability across reservation intervals
+/// — unstable groups cost multicast-channel re-signalling.
+///
+/// Returns 1.0 for fewer than two items.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn rand_index(a: &[usize], b: &[usize]) -> f64 {
+    assert_eq!(a.len(), b.len(), "clusterings must cover the same items");
+    let n = a.len();
+    if n < 2 {
+        return 1.0;
+    }
+    let mut agree = 0usize;
+    let mut total = 0usize;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            total += 1;
+            if (a[i] == a[j]) == (b[i] == b[j]) {
+                agree += 1;
+            }
+        }
+    }
+    agree as f64 / total as f64
+}
+
+/// Adjusted Rand index (Hubert & Arabie): chance-corrected agreement in
+/// `(-1, 1]`, 0 expected for independent random partitions.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn adjusted_rand_index(a: &[usize], b: &[usize]) -> f64 {
+    assert_eq!(a.len(), b.len(), "clusterings must cover the same items");
+    let n = a.len();
+    if n < 2 {
+        return 1.0;
+    }
+    let ka = a.iter().max().map_or(0, |m| m + 1);
+    let kb = b.iter().max().map_or(0, |m| m + 1);
+    let mut table = vec![vec![0u64; kb]; ka];
+    let mut row = vec![0u64; ka];
+    let mut col = vec![0u64; kb];
+    for (&x, &y) in a.iter().zip(b) {
+        table[x][y] += 1;
+        row[x] += 1;
+        col[y] += 1;
+    }
+    let c2 = |x: u64| (x * x.saturating_sub(1)) as f64 / 2.0;
+    let sum_ij: f64 = table.iter().flatten().map(|&x| c2(x)).sum();
+    let sum_a: f64 = row.iter().map(|&x| c2(x)).sum();
+    let sum_b: f64 = col.iter().map(|&x| c2(x)).sum();
+    let pairs = c2(n as u64);
+    let expected = sum_a * sum_b / pairs;
+    let max = 0.5 * (sum_a + sum_b);
+    if (max - expected).abs() < 1e-12 {
+        return 1.0; // degenerate: both partitions trivial
+    }
+    (sum_ij - expected) / (max - expected)
+}
+
+/// Total within-cluster sum of squared distances to centroids.
+///
+/// # Panics
+/// Panics if `assignments.len() != points.len()`.
+pub fn inertia(points: &[Vec<f64>], assignments: &[usize]) -> f64 {
+    assert_eq!(points.len(), assignments.len(), "one assignment per point");
+    if points.is_empty() {
+        return 0.0;
+    }
+    let k = assignments.iter().max().map_or(0, |m| m + 1);
+    let dim = points[0].len();
+    let mut centroids = vec![vec![0.0; dim]; k];
+    let mut sizes = vec![0usize; k];
+    for (p, &a) in points.iter().zip(assignments) {
+        sizes[a] += 1;
+        for (c, &x) in centroids[a].iter_mut().zip(p) {
+            *c += x;
+        }
+    }
+    for c in 0..k {
+        if sizes[c] > 0 {
+            for v in &mut centroids[c] {
+                *v /= sizes[c] as f64;
+            }
+        }
+    }
+    points
+        .iter()
+        .zip(assignments)
+        .map(|(p, &a)| {
+            p.iter()
+                .zip(&centroids[a])
+                .map(|(x, c)| (x - c) * (x - c))
+                .sum::<f64>()
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_blobs() -> (Vec<Vec<f64>>, Vec<usize>) {
+        let points = vec![
+            vec![0.0, 0.0],
+            vec![0.1, 0.1],
+            vec![0.0, 0.2],
+            vec![10.0, 10.0],
+            vec![10.1, 10.1],
+            vec![10.0, 10.2],
+        ];
+        let good = vec![0, 0, 0, 1, 1, 1];
+        (points, good)
+    }
+
+    #[test]
+    fn silhouette_prefers_correct_labels() {
+        let (points, good) = two_blobs();
+        let bad = vec![0, 1, 0, 1, 0, 1];
+        let s_good = silhouette(&points, &good);
+        let s_bad = silhouette(&points, &bad);
+        assert!(
+            s_good > 0.9,
+            "good labels should score near 1, got {s_good}"
+        );
+        assert!(s_bad < s_good);
+        assert!(
+            s_bad < 0.0,
+            "scrambled labels should be negative, got {s_bad}"
+        );
+    }
+
+    #[test]
+    fn silhouette_degenerate_cases() {
+        let points = vec![vec![0.0], vec![1.0]];
+        assert_eq!(silhouette(&points, &[0, 0]), 0.0, "single cluster");
+        assert_eq!(silhouette(&[vec![0.0]], &[0]), 0.0, "single point");
+        // Two singletons: each contributes 0.
+        assert_eq!(silhouette(&points, &[0, 1]), 0.0);
+    }
+
+    #[test]
+    fn davies_bouldin_prefers_correct_labels() {
+        let (points, good) = two_blobs();
+        let bad = vec![0, 1, 0, 1, 0, 1];
+        let db_good = davies_bouldin(&points, &good);
+        let db_bad = davies_bouldin(&points, &bad);
+        assert!(db_good < 0.1, "tight blobs should be near 0, got {db_good}");
+        assert!(db_bad > db_good);
+    }
+
+    #[test]
+    fn davies_bouldin_coincident_centroids_is_infinite() {
+        let points = vec![vec![0.0], vec![0.0], vec![0.0], vec![0.0]];
+        let db = davies_bouldin(&points, &[0, 1, 0, 1]);
+        assert!(db.is_infinite());
+    }
+
+    #[test]
+    fn inertia_zero_for_points_on_centroid() {
+        let points = vec![vec![2.0, 2.0]; 5];
+        assert!(inertia(&points, &[0; 5]) < 1e-12);
+    }
+
+    #[test]
+    fn inertia_matches_hand_computation() {
+        let points = vec![vec![0.0], vec![2.0]];
+        // Centroid at 1.0; each point contributes 1.0.
+        assert!((inertia(&points, &[0, 0]) - 2.0).abs() < 1e-12);
+        assert_eq!(inertia(&points, &[0, 1]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "one assignment per point")]
+    fn length_mismatch_panics() {
+        let _ = silhouette(&[vec![0.0]], &[0, 1]);
+    }
+}
+
+#[cfg(test)]
+mod rand_index_tests {
+    use super::*;
+
+    #[test]
+    fn identical_partitions_score_one() {
+        let a = vec![0, 0, 1, 1, 2];
+        assert_eq!(rand_index(&a, &a), 1.0);
+        assert_eq!(adjusted_rand_index(&a, &a), 1.0);
+        // Relabeling does not matter.
+        let relabeled = vec![2, 2, 0, 0, 1];
+        assert_eq!(rand_index(&a, &relabeled), 1.0);
+        assert_eq!(adjusted_rand_index(&a, &relabeled), 1.0);
+    }
+
+    #[test]
+    fn disjoint_split_scores_low() {
+        let a = vec![0, 0, 0, 0, 1, 1, 1, 1];
+        let b = vec![0, 1, 0, 1, 0, 1, 0, 1];
+        let ri = rand_index(&a, &b);
+        assert!(ri < 0.6, "cross-cutting partitions: {ri}");
+        let ari = adjusted_rand_index(&a, &b);
+        assert!(ari < 0.1, "ARI should be near 0: {ari}");
+    }
+
+    #[test]
+    fn ari_hand_example() {
+        // Classic: one item moved between two equal clusters of 4.
+        let a = vec![0, 0, 0, 0, 1, 1, 1, 1];
+        let b = vec![0, 0, 0, 1, 1, 1, 1, 1];
+        let ri = rand_index(&a, &b);
+        // Pairs: total 28; disagreements are pairs involving the moved
+        // item with its old cluster (3) and new cluster (4): 7.
+        assert!((ri - 21.0 / 28.0).abs() < 1e-12);
+        let ari = adjusted_rand_index(&a, &b);
+        assert!(ari > 0.3 && ari < 1.0);
+    }
+
+    #[test]
+    fn degenerate_cases() {
+        assert_eq!(rand_index(&[], &[]), 1.0);
+        assert_eq!(rand_index(&[0], &[5]), 1.0);
+        // All items in one cluster in both partitions.
+        assert_eq!(adjusted_rand_index(&[0, 0, 0], &[1, 1, 1]), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "same items")]
+    fn length_mismatch_panics() {
+        let _ = rand_index(&[0, 1], &[0]);
+    }
+}

@@ -1,0 +1,141 @@
+//! Baseline predictors the experiments compare against.
+//!
+//! - the **no-swiping-abstraction** baseline is the scheme with
+//!   [`crate::DemandConfig::assume_full_watch`] set (every recommended
+//!   video is presumed fully transmitted);
+//! - grouping baselines (fixed `K`, elbow, silhouette scan, random) are
+//!   [`crate::GroupingStrategy`] variants;
+//! - the **historical-mean** predictor below ignores twins entirely and
+//!   extrapolates the last observed demands;
+//! - the **unicast** baseline is computed by the simulator from per-user
+//!   demands via [`msvs_channel::unicast_resource_demand`].
+
+use msvs_types::{CpuCycles, ResourceBlocks};
+
+/// Exponentially-weighted moving-average demand predictor.
+///
+/// Predicts the next interval's demand as the EWMA of previously *observed*
+/// actual demands — the classic twin-free provisioning rule.
+///
+/// # Examples
+/// ```
+/// # use msvs_core::HistoricalMeanPredictor;
+/// # use msvs_types::{ResourceBlocks, CpuCycles};
+/// let mut p = HistoricalMeanPredictor::new(0.5).unwrap();
+/// assert!(p.predict().is_none(), "no history yet");
+/// p.observe(ResourceBlocks(10.0), CpuCycles(1e9));
+/// p.observe(ResourceBlocks(20.0), CpuCycles(3e9));
+/// let (rb, _) = p.predict().unwrap();
+/// assert!((rb.value() - 15.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistoricalMeanPredictor {
+    alpha: f64,
+    radio: Option<f64>,
+    computing: Option<f64>,
+    observations: u64,
+}
+
+impl HistoricalMeanPredictor {
+    /// Builds a predictor with smoothing factor `alpha` in `(0, 1]`
+    /// (weight on the newest observation).
+    ///
+    /// # Errors
+    /// Returns `InvalidConfig` when `alpha` is outside `(0, 1]`.
+    pub fn new(alpha: f64) -> msvs_types::Result<Self> {
+        if !(alpha > 0.0 && alpha <= 1.0) {
+            return Err(msvs_types::Error::invalid_config(
+                "alpha",
+                "must be in (0, 1]",
+            ));
+        }
+        Ok(Self {
+            alpha,
+            radio: None,
+            computing: None,
+            observations: 0,
+        })
+    }
+
+    /// Number of observations folded in.
+    pub fn observations(&self) -> u64 {
+        self.observations
+    }
+
+    /// Folds in an observed interval's actual demands.
+    pub fn observe(&mut self, radio: ResourceBlocks, computing: CpuCycles) {
+        self.observations += 1;
+        let fold = |state: &mut Option<f64>, x: f64, alpha: f64| {
+            *state = Some(match *state {
+                None => x,
+                Some(prev) => alpha * x + (1.0 - alpha) * prev,
+            });
+        };
+        fold(&mut self.radio, radio.value(), self.alpha);
+        fold(&mut self.computing, computing.value(), self.alpha);
+    }
+
+    /// Predicts the next interval's `(radio, computing)` demand, or `None`
+    /// before the first observation.
+    pub fn predict(&self) -> Option<(ResourceBlocks, CpuCycles)> {
+        Some((
+            ResourceBlocks(self.radio?),
+            CpuCycles(self.computing.unwrap_or(0.0)),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_bad_alpha() {
+        assert!(HistoricalMeanPredictor::new(0.0).is_err());
+        assert!(HistoricalMeanPredictor::new(1.1).is_err());
+        assert!(HistoricalMeanPredictor::new(1.0).is_ok());
+    }
+
+    #[test]
+    fn first_observation_seeds_state() {
+        let mut p = HistoricalMeanPredictor::new(0.3).unwrap();
+        p.observe(ResourceBlocks(40.0), CpuCycles(2e9));
+        let (rb, cy) = p.predict().unwrap();
+        assert_eq!(rb.value(), 40.0);
+        assert_eq!(cy.value(), 2e9);
+    }
+
+    #[test]
+    fn ewma_converges_to_stationary_demand() {
+        let mut p = HistoricalMeanPredictor::new(0.4).unwrap();
+        for _ in 0..50 {
+            p.observe(ResourceBlocks(25.0), CpuCycles(1e9));
+        }
+        let (rb, _) = p.predict().unwrap();
+        assert!((rb.value() - 25.0).abs() < 1e-9);
+        assert_eq!(p.observations(), 50);
+    }
+
+    #[test]
+    fn ewma_lags_a_step_change() {
+        let mut p = HistoricalMeanPredictor::new(0.3).unwrap();
+        for _ in 0..20 {
+            p.observe(ResourceBlocks(10.0), CpuCycles(0.0));
+        }
+        p.observe(ResourceBlocks(100.0), CpuCycles(0.0));
+        let (rb, _) = p.predict().unwrap();
+        // One step after the jump the estimate is far from 100.
+        assert!(rb.value() < 40.0, "ewma should lag: {}", rb.value());
+        assert!(rb.value() > 10.0);
+    }
+
+    #[test]
+    fn alpha_one_tracks_exactly() {
+        let mut p = HistoricalMeanPredictor::new(1.0).unwrap();
+        p.observe(ResourceBlocks(5.0), CpuCycles(1.0));
+        p.observe(ResourceBlocks(9.0), CpuCycles(2.0));
+        let (rb, cy) = p.predict().unwrap();
+        assert_eq!(rb.value(), 9.0);
+        assert_eq!(cy.value(), 2.0);
+    }
+}

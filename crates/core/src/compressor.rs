@@ -1,0 +1,353 @@
+//! The 1D-CNN time-series compressor.
+//!
+//! The paper: "we first utilize a one-dimensional convolution neural
+//! network (1D-CNN) to compress the time-series UDTs' data." We realise
+//! this as a convolutional autoencoder: the encoder (two strided `Conv1d`
+//! layers plus a dense head) maps a `[channels, window]` twin history to a
+//! small embedding; a dense decoder reconstructs the input, providing the
+//! training signal without labels.
+
+use msvs_nn::{mse_loss, Adam, Conv1d, Dense, Flatten, Optimizer, Relu, Sequential, Tensor};
+use msvs_types::{Error, Result};
+use msvs_udt::FeatureWindow;
+
+use crate::features::{embedding_features, windows_to_tensor};
+
+/// Hyperparameters of the [`CnnCompressor`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CompressorConfig {
+    /// Input window length (time steps per attribute).
+    pub window: usize,
+    /// Number of input channels (twin attributes).
+    pub channels: usize,
+    /// Embedding dimensionality.
+    pub embed_dim: usize,
+    /// Conv filters per layer.
+    pub filters: usize,
+    /// Adam learning rate.
+    pub learning_rate: f32,
+    /// Training epochs over the batch per `train` call.
+    pub epochs: usize,
+    /// Weight applied to the preference vector when forming clustering
+    /// features (balances dynamics vs taste distance scales).
+    pub preference_weight: f64,
+    /// RNG seed for weight initialisation.
+    pub seed: u64,
+}
+
+impl Default for CompressorConfig {
+    fn default() -> Self {
+        Self {
+            window: 32,
+            channels: 4,
+            embed_dim: 8,
+            filters: 8,
+            learning_rate: 2e-3,
+            epochs: 60,
+            preference_weight: 2.0,
+            seed: 0,
+        }
+    }
+}
+
+impl CompressorConfig {
+    fn validate(&self) -> Result<()> {
+        if self.window < 8 {
+            return Err(Error::invalid_config("window", "must be at least 8"));
+        }
+        if self.channels == 0 || self.embed_dim == 0 || self.filters == 0 {
+            return Err(Error::invalid_config(
+                "compressor dims",
+                "channels, embed_dim and filters must be positive",
+            ));
+        }
+        if self.learning_rate <= 0.0 {
+            return Err(Error::invalid_config("learning_rate", "must be positive"));
+        }
+        if self.epochs == 0 {
+            return Err(Error::invalid_config("epochs", "must be positive"));
+        }
+        if self.preference_weight < 0.0 {
+            return Err(Error::invalid_config(
+                "preference_weight",
+                "must be non-negative",
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// A trainable 1D-CNN autoencoder that compresses twin windows to
+/// embeddings.
+pub struct CnnCompressor {
+    config: CompressorConfig,
+    encoder: Sequential,
+    decoder: Sequential,
+    enc_opt: Adam,
+    dec_opt: Adam,
+    trained_epochs: usize,
+}
+
+impl std::fmt::Debug for CnnCompressor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CnnCompressor")
+            .field("window", &self.config.window)
+            .field("embed_dim", &self.config.embed_dim)
+            .field("trained_epochs", &self.trained_epochs)
+            .finish()
+    }
+}
+
+impl CnnCompressor {
+    /// Builds an untrained compressor.
+    ///
+    /// # Errors
+    /// Returns [`Error::InvalidConfig`] for out-of-range hyperparameters.
+    pub fn new(config: CompressorConfig) -> Result<Self> {
+        config.validate()?;
+        let conv1 = Conv1d::new(config.channels, config.filters, 3, 2, config.seed ^ 0xA1);
+        let l1 = conv1
+            .out_len(config.window)
+            .ok_or_else(|| Error::invalid_config("window", "too short for conv stack"))?;
+        let conv2 = Conv1d::new(config.filters, config.filters, 3, 2, config.seed ^ 0xA2);
+        let l2 = conv2
+            .out_len(l1)
+            .ok_or_else(|| Error::invalid_config("window", "too short for conv stack"))?;
+        let flat = config.filters * l2;
+        let encoder = Sequential::new(vec![
+            Box::new(conv1),
+            Box::new(Relu::new()),
+            Box::new(conv2),
+            Box::new(Relu::new()),
+            Box::new(Flatten::new()),
+            Box::new(Dense::new(flat, config.embed_dim, config.seed ^ 0xA3)),
+        ]);
+        let out = config.channels * config.window;
+        let decoder = Sequential::new(vec![
+            Box::new(Dense::new(config.embed_dim, flat, config.seed ^ 0xA4)),
+            Box::new(Relu::new()),
+            Box::new(Dense::new(flat, out, config.seed ^ 0xA5)),
+        ]);
+        Ok(Self {
+            enc_opt: Adam::new(config.learning_rate),
+            dec_opt: Adam::new(config.learning_rate),
+            encoder,
+            decoder,
+            config,
+            trained_epochs: 0,
+        })
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &CompressorConfig {
+        &self.config
+    }
+
+    /// Total epochs trained so far.
+    pub fn trained_epochs(&self) -> usize {
+        self.trained_epochs
+    }
+
+    /// Trains the autoencoder on a batch of windows for
+    /// `config.epochs` epochs; returns the reconstruction loss per epoch.
+    ///
+    /// # Errors
+    /// Propagates shape errors from malformed windows.
+    pub fn train(&mut self, windows: &[FeatureWindow]) -> Result<Vec<f32>> {
+        let x = windows_to_tensor(windows)?;
+        self.check_input(&x)?;
+        let batch = x.shape()[0];
+        let flat_target = x
+            .clone()
+            .reshape(vec![batch, self.config.channels * self.config.window])
+            .expect("same element count");
+        let mut losses = Vec::with_capacity(self.config.epochs);
+        for _ in 0..self.config.epochs {
+            let code = self.encoder.forward(&x, true);
+            let recon = self.decoder.forward(&code, true);
+            let (loss, grad) = mse_loss(&recon, &flat_target);
+            self.encoder.zero_grad();
+            self.decoder.zero_grad();
+            let grad_code = self.decoder.backward(&grad);
+            self.encoder.backward(&grad_code);
+            self.dec_opt.step(&mut self.decoder);
+            self.enc_opt.step(&mut self.encoder);
+            losses.push(loss);
+            self.trained_epochs += 1;
+        }
+        Ok(losses)
+    }
+
+    /// Encodes windows into clustering features: CNN embedding plus the
+    /// weighted preference vector (see
+    /// [`embedding_features`]).
+    ///
+    /// # Errors
+    /// Propagates shape errors from malformed windows.
+    pub fn encode(&mut self, windows: &[FeatureWindow]) -> Result<Vec<Vec<f64>>> {
+        let x = windows_to_tensor(windows)?;
+        self.check_input(&x)?;
+        let code = self.encoder.forward(&x, false);
+        Ok(windows
+            .iter()
+            .enumerate()
+            .map(|(i, w)| {
+                let emb: Vec<f32> = code.row(i);
+                embedding_features(&emb, &w.preference, self.config.preference_weight)
+            })
+            .collect())
+    }
+
+    fn check_input(&self, x: &Tensor) -> Result<()> {
+        if x.shape()[1] != self.config.channels || x.shape()[2] != self.config.window {
+            return Err(Error::shape(
+                format!("[_, {}, {}]", self.config.channels, self.config.window),
+                format!("{:?}", x.shape()),
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn config() -> CompressorConfig {
+        CompressorConfig {
+            window: 16,
+            epochs: 40,
+            ..Default::default()
+        }
+    }
+
+    /// Two archetypes: "campus resident near DC with good channel, long
+    /// watches" vs "cell-edge commuter with poor channel, quick swipes".
+    fn archetype_windows(n_per: usize, seed: u64) -> (Vec<FeatureWindow>, Vec<usize>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut windows = Vec::new();
+        let mut labels = Vec::new();
+        for arche in 0..2 {
+            for _ in 0..n_per {
+                let (snr, x, y, watch) = if arche == 0 {
+                    (0.8, 0.5, 0.5, 0.7)
+                } else {
+                    (0.2, 0.9, 0.1, 0.15)
+                };
+                let noisy = |base: f64, rng: &mut StdRng| -> Vec<f32> {
+                    (0..16)
+                        .map(|_| (base + rng.gen::<f64>() * 0.08 - 0.04).clamp(0.0, 1.0) as f32)
+                        .collect()
+                };
+                windows.push(FeatureWindow {
+                    series: vec![
+                        noisy(snr, &mut rng),
+                        noisy(x, &mut rng),
+                        noisy(y, &mut rng),
+                        noisy(watch, &mut rng),
+                    ],
+                    preference: vec![0.125; 8],
+                });
+                labels.push(arche);
+            }
+        }
+        (windows, labels)
+    }
+
+    #[test]
+    fn rejects_invalid_config() {
+        assert!(CnnCompressor::new(CompressorConfig {
+            window: 4,
+            ..Default::default()
+        })
+        .is_err());
+        assert!(CnnCompressor::new(CompressorConfig {
+            embed_dim: 0,
+            ..Default::default()
+        })
+        .is_err());
+        assert!(CnnCompressor::new(CompressorConfig {
+            learning_rate: 0.0,
+            ..Default::default()
+        })
+        .is_err());
+    }
+
+    #[test]
+    fn training_reduces_reconstruction_loss() {
+        let mut comp = CnnCompressor::new(config()).unwrap();
+        let (windows, _) = archetype_windows(20, 1);
+        let losses = comp.train(&windows).unwrap();
+        let head: f32 = losses[..5].iter().sum::<f32>() / 5.0;
+        let tail: f32 = losses[losses.len() - 5..].iter().sum::<f32>() / 5.0;
+        assert!(
+            tail < head * 0.6,
+            "loss should drop substantially: {head} -> {tail}"
+        );
+        assert_eq!(comp.trained_epochs(), 40);
+    }
+
+    #[test]
+    fn embeddings_separate_archetypes() {
+        let mut comp = CnnCompressor::new(config()).unwrap();
+        let (windows, labels) = archetype_windows(25, 2);
+        comp.train(&windows).unwrap();
+        let feats = comp.encode(&windows).unwrap();
+        // Mean intra-class distance should be well below inter-class.
+        let dist = |a: &[f64], b: &[f64]| -> f64 {
+            a.iter()
+                .zip(b)
+                .map(|(x, y)| (x - y) * (x - y))
+                .sum::<f64>()
+                .sqrt()
+        };
+        let mut intra = Vec::new();
+        let mut inter = Vec::new();
+        for i in 0..feats.len() {
+            for j in (i + 1)..feats.len() {
+                let d = dist(&feats[i], &feats[j]);
+                if labels[i] == labels[j] {
+                    intra.push(d);
+                } else {
+                    inter.push(d);
+                }
+            }
+        }
+        let intra_mean = msvs_types::stats::mean(&intra);
+        let inter_mean = msvs_types::stats::mean(&inter);
+        assert!(
+            inter_mean > intra_mean * 1.5,
+            "archetypes should separate: intra {intra_mean:.4} vs inter {inter_mean:.4}"
+        );
+    }
+
+    #[test]
+    fn encode_output_dims() {
+        let mut comp = CnnCompressor::new(config()).unwrap();
+        let (windows, _) = archetype_windows(3, 3);
+        let feats = comp.encode(&windows).unwrap();
+        assert_eq!(feats.len(), 6);
+        for f in &feats {
+            assert_eq!(f.len(), 8 + 8, "embed_dim + preference");
+        }
+    }
+
+    #[test]
+    fn encode_rejects_wrong_window() {
+        let mut comp = CnnCompressor::new(config()).unwrap();
+        let bad = FeatureWindow {
+            series: vec![vec![0.5; 20]; 4],
+            preference: vec![0.125; 8],
+        };
+        assert!(comp.encode(&[bad]).is_err());
+    }
+
+    #[test]
+    fn compression_ratio_is_substantial() {
+        let cfg = config();
+        // 4 channels x 16 steps = 64 inputs -> 8-dim embedding: 8x smaller.
+        assert!(cfg.channels * cfg.window >= 8 * cfg.embed_dim);
+    }
+}

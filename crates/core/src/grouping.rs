@@ -1,0 +1,567 @@
+//! Multicast group construction: DDQN-selected `K`, K-means++ clustering.
+//!
+//! The paper's two-step method: "a double deep Q-network (DDQN) is first
+//! adopted to determine the grouping number by mining users' similarities.
+//! Then, the K-means++ algorithm is utilized to perform fast user
+//! clustering based on the determined grouping number."
+//!
+//! The DDQN sees a fixed-size summary of the embedded user population (a
+//! pairwise-distance histogram plus population size and the previous
+//! decision) and picks `K`. The reward trades clustering quality
+//! (silhouette) against the signalling/channel overhead of more groups.
+
+use msvs_cluster::{silhouette, KMeans, KMeansConfig};
+use msvs_rl::{DdqnAgent, DdqnConfig, EpsilonSchedule, Transition};
+use msvs_types::{Error, Result};
+
+/// Number of histogram bins in the DDQN state.
+const HIST_BINS: usize = 16;
+
+/// Population-size normaliser for the state (users / this, clamped to 1).
+const POP_NORM: f64 = 400.0;
+
+/// How the group count is chosen (the DDQN scheme or a baseline).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum GroupingStrategy {
+    /// The paper's scheme: DDQN picks `K`, learning online.
+    Ddqn,
+    /// Always use a fixed `K`.
+    FixedK(usize),
+    /// Exhaustive silhouette scan over the whole `K` range (slow oracle).
+    SilhouetteScan,
+    /// Elbow rule on inertia.
+    Elbow,
+    /// Uniform-random `K` in range (sanity floor).
+    RandomK,
+}
+
+/// Configuration for the [`GroupingEngine`].
+#[derive(Debug, Clone)]
+pub struct GroupingConfig {
+    /// Smallest admissible group count.
+    pub k_min: usize,
+    /// Largest admissible group count.
+    pub k_max: usize,
+    /// Reward penalty per extra group beyond `k_min`, spread over the
+    /// range (models per-group multicast channel/signalling overhead).
+    pub group_cost: f64,
+    /// Strategy for picking `K`.
+    pub strategy: GroupingStrategy,
+    /// DDQN hidden widths.
+    pub hidden: Vec<usize>,
+    /// DDQN learning rate.
+    pub learning_rate: f32,
+    /// DDQN exploration schedule.
+    pub epsilon: EpsilonSchedule,
+    /// Use prioritized experience replay in the DDQN (grouping rewards are
+    /// sparse and noisy; PER replays the informative transitions more).
+    pub prioritized_replay: bool,
+    /// Use a dueling value/advantage Q-network head (adjacent group counts
+    /// share most of their value, which the dueling decomposition models
+    /// directly).
+    pub dueling: bool,
+    /// RNG seed (agent weights, K-means seeding, random baseline).
+    pub seed: u64,
+}
+
+impl Default for GroupingConfig {
+    fn default() -> Self {
+        Self {
+            k_min: 2,
+            k_max: 12,
+            group_cost: 0.15,
+            strategy: GroupingStrategy::Ddqn,
+            hidden: vec![64, 32],
+            learning_rate: 1e-3,
+            epsilon: EpsilonSchedule::linear(0.6, 0.05, 400).expect("static schedule is valid"),
+            prioritized_replay: false,
+            dueling: false,
+            seed: 0,
+        }
+    }
+}
+
+impl GroupingConfig {
+    fn validate(&self) -> Result<()> {
+        if self.k_min < 1 || self.k_max < self.k_min {
+            return Err(Error::invalid_config(
+                "k range",
+                format!(
+                    "need 1 <= k_min <= k_max, got {}..={}",
+                    self.k_min, self.k_max
+                ),
+            ));
+        }
+        if self.k_max == self.k_min {
+            return Err(Error::invalid_config(
+                "k range",
+                "need at least two candidate group counts",
+            ));
+        }
+        if self.group_cost < 0.0 {
+            return Err(Error::invalid_config("group_cost", "must be non-negative"));
+        }
+        Ok(())
+    }
+}
+
+/// Result of one group construction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Grouping {
+    /// Chosen group count.
+    pub k: usize,
+    /// Group index per user (aligned with the input feature order).
+    pub assignments: Vec<usize>,
+    /// Silhouette score of the clustering.
+    pub silhouette: f64,
+    /// Reward fed to the DDQN (quality minus group cost).
+    pub reward: f64,
+}
+
+impl Grouping {
+    /// Members of each group, as indices into the clustered feature set.
+    pub fn members(&self) -> Vec<Vec<usize>> {
+        let mut m = vec![Vec::new(); self.k];
+        for (i, &a) in self.assignments.iter().enumerate() {
+            m[a].push(i);
+        }
+        m
+    }
+}
+
+/// The learning group constructor.
+pub struct GroupingEngine {
+    config: GroupingConfig,
+    agent: DdqnAgent,
+    prev_k: Option<usize>,
+    prev_reward: f64,
+    calls: u64,
+}
+
+impl std::fmt::Debug for GroupingEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GroupingEngine")
+            .field("strategy", &self.config.strategy)
+            .field("k_range", &(self.config.k_min, self.config.k_max))
+            .field("calls", &self.calls)
+            .finish()
+    }
+}
+
+impl GroupingEngine {
+    /// Builds an engine.
+    ///
+    /// # Errors
+    /// Returns [`Error::InvalidConfig`] for an invalid `K` range or DDQN
+    /// hyperparameters.
+    pub fn new(config: GroupingConfig) -> Result<Self> {
+        config.validate()?;
+        let action_count = config.k_max - config.k_min + 1;
+        let agent = DdqnAgent::new(DdqnConfig {
+            state_dim: HIST_BINS + 3,
+            action_count,
+            hidden: config.hidden.clone(),
+            learning_rate: config.learning_rate,
+            gamma: 0.0, // one-step decisions: pure contextual bandit
+            batch_size: 32,
+            replay_capacity: 4096,
+            min_replay: 64,
+            target_sync_every: 50,
+            epsilon: config.epsilon,
+            per: config.prioritized_replay.then(msvs_rl::PerConfig::default),
+            dueling: config.dueling,
+            seed: config.seed,
+        })?;
+        Ok(Self {
+            config,
+            agent,
+            prev_k: None,
+            prev_reward: 0.0,
+            calls: 0,
+        })
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &GroupingConfig {
+        &self.config
+    }
+
+    /// Number of constructions performed.
+    pub fn calls(&self) -> u64 {
+        self.calls
+    }
+
+    /// DDQN state: normalised pairwise-distance histogram + population size
+    /// + previous `K` + previous reward.
+    pub fn state_of(&self, features: &[Vec<f64>]) -> Vec<f32> {
+        let mut state = vec![0f32; HIST_BINS + 3];
+        let n = features.len();
+        if n >= 2 {
+            // Sample up to ~2000 pairs to bound cost on large populations.
+            let mut dists = Vec::new();
+            let stride = ((n * (n - 1) / 2) / 2000).max(1);
+            let mut pair = 0usize;
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    if pair.is_multiple_of(stride) {
+                        let d: f64 = features[i]
+                            .iter()
+                            .zip(&features[j])
+                            .map(|(a, b)| (a - b) * (a - b))
+                            .sum::<f64>()
+                            .sqrt();
+                        dists.push(d);
+                    }
+                    pair += 1;
+                }
+            }
+            let max = dists.iter().copied().fold(f64::MIN_POSITIVE, f64::max);
+            for &d in &dists {
+                let bin = ((d / max) * (HIST_BINS as f64 - 1e-9)) as usize;
+                state[bin.min(HIST_BINS - 1)] += 1.0;
+            }
+            let total: f32 = state[..HIST_BINS].iter().sum();
+            if total > 0.0 {
+                for s in &mut state[..HIST_BINS] {
+                    *s /= total;
+                }
+            }
+        }
+        state[HIST_BINS] = ((n as f64) / POP_NORM).min(1.0) as f32;
+        state[HIST_BINS + 1] = self
+            .prev_k
+            .map(|k| {
+                (k - self.config.k_min) as f32 / (self.config.k_max - self.config.k_min) as f32
+            })
+            .unwrap_or(0.5);
+        state[HIST_BINS + 2] = self.prev_reward as f32;
+        state
+    }
+
+    fn reward_of(&self, sil: f64, k: usize) -> f64 {
+        let span = (self.config.k_max - self.config.k_min) as f64;
+        sil - self.config.group_cost * (k - self.config.k_min) as f64 / span
+    }
+
+    /// Constructs multicast groups for the given clustering features.
+    ///
+    /// With [`GroupingStrategy::Ddqn`] the agent picks `K`, the clustering
+    /// runs, and the observed reward is fed back as a one-step transition
+    /// (learning continues across reservation intervals).
+    ///
+    /// # Errors
+    /// Returns [`Error::InsufficientData`] when there are fewer users than
+    /// `k_min`, and propagates K-means errors.
+    pub fn construct(&mut self, features: &[Vec<f64>]) -> Result<Grouping> {
+        if features.len() < self.config.k_min {
+            return Err(Error::insufficient(format!(
+                "need at least k_min={} users, got {}",
+                self.config.k_min,
+                features.len()
+            )));
+        }
+        self.calls += 1;
+        let k_cap = features.len().min(self.config.k_max);
+        let grouping = match self.config.strategy {
+            GroupingStrategy::Ddqn => {
+                let state = self.state_of(features);
+                let action = self.agent.act(&state);
+                let k = (self.config.k_min + action).min(k_cap);
+                let g = self.cluster(features, k)?;
+                self.agent.observe(Transition {
+                    state,
+                    action,
+                    reward: g.reward as f32,
+                    next_state: vec![0.0; HIST_BINS + 3],
+                    done: true,
+                });
+                g
+            }
+            GroupingStrategy::FixedK(k) => {
+                let k = k.clamp(self.config.k_min, k_cap);
+                self.cluster(features, k)?
+            }
+            GroupingStrategy::SilhouetteScan => {
+                let (k, _) = msvs_cluster::silhouette_scan_k(
+                    features,
+                    self.config.k_min.max(2),
+                    k_cap,
+                    self.config.seed,
+                )?;
+                self.cluster(features, k)?
+            }
+            GroupingStrategy::Elbow => {
+                let k = msvs_cluster::elbow_k(
+                    features,
+                    self.config.k_min,
+                    k_cap,
+                    0.15,
+                    self.config.seed,
+                )?;
+                self.cluster(features, k)?
+            }
+            GroupingStrategy::RandomK => {
+                use rand::Rng as _;
+                use rand::SeedableRng as _;
+                let mut rng =
+                    rand::rngs::StdRng::seed_from_u64(self.config.seed.wrapping_add(self.calls));
+                let k = rng.gen_range(self.config.k_min..=k_cap);
+                self.cluster(features, k)?
+            }
+        };
+        self.prev_k = Some(grouping.k);
+        self.prev_reward = grouping.reward;
+        Ok(grouping)
+    }
+
+    /// Greedy (no-exploration) choice of `K` for the given features; does
+    /// not learn. Useful for inspecting a trained agent.
+    pub fn greedy_k(&mut self, features: &[Vec<f64>]) -> usize {
+        let state = self.state_of(features);
+        let k_cap = features.len().min(self.config.k_max);
+        (self.config.k_min + self.agent.act_greedy(&state)).min(k_cap.max(self.config.k_min))
+    }
+
+    /// Pretrains the DDQN by repeatedly constructing groups over the given
+    /// feature sets (cycling through them) for `episodes` iterations.
+    ///
+    /// # Errors
+    /// Propagates construction errors.
+    pub fn pretrain(&mut self, feature_sets: &[Vec<Vec<f64>>], episodes: usize) -> Result<()> {
+        if feature_sets.is_empty() {
+            return Err(Error::insufficient("at least one feature set"));
+        }
+        for e in 0..episodes {
+            let features = &feature_sets[e % feature_sets.len()];
+            self.construct(features)?;
+        }
+        Ok(())
+    }
+
+    fn cluster(&self, features: &[Vec<f64>], k: usize) -> Result<Grouping> {
+        let fit = KMeans::new(KMeansConfig {
+            k,
+            seed: self.config.seed ^ 0x5EED,
+            ..Default::default()
+        })
+        .fit(features)?;
+        let sil = silhouette(features, &fit.assignments);
+        Ok(Grouping {
+            k,
+            assignments: fit.assignments,
+            silhouette: sil,
+            reward: self.reward_of(sil, k),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// `k` well-separated blobs in 4-D.
+    fn blobs(k: usize, per: usize, seed: u64) -> Vec<Vec<f64>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut out = Vec::new();
+        for c in 0..k {
+            let center: Vec<f64> = (0..4)
+                .map(|d| ((c * 7 + d * 3) % 10) as f64 * 2.0)
+                .collect();
+            for _ in 0..per {
+                out.push(
+                    center
+                        .iter()
+                        .map(|&x| x + msvs_types::stats::normal(&mut rng, 0.0, 0.15))
+                        .collect(),
+                );
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn rejects_bad_config() {
+        assert!(GroupingEngine::new(GroupingConfig {
+            k_min: 0,
+            ..Default::default()
+        })
+        .is_err());
+        assert!(GroupingEngine::new(GroupingConfig {
+            k_min: 5,
+            k_max: 5,
+            ..Default::default()
+        })
+        .is_err());
+        assert!(GroupingEngine::new(GroupingConfig {
+            group_cost: -1.0,
+            ..Default::default()
+        })
+        .is_err());
+    }
+
+    #[test]
+    fn fixed_k_clusters_exactly() {
+        let mut engine = GroupingEngine::new(GroupingConfig {
+            strategy: GroupingStrategy::FixedK(3),
+            ..Default::default()
+        })
+        .unwrap();
+        let g = engine.construct(&blobs(3, 20, 1)).unwrap();
+        assert_eq!(g.k, 3);
+        assert!(g.silhouette > 0.8, "separated blobs: sil {}", g.silhouette);
+        let sizes: Vec<usize> = g.members().iter().map(|m| m.len()).collect();
+        assert_eq!(sizes.iter().sum::<usize>(), 60);
+    }
+
+    #[test]
+    fn state_is_fixed_size_and_normalised() {
+        let engine = GroupingEngine::new(GroupingConfig::default()).unwrap();
+        for n in [2, 10, 100] {
+            let s = engine.state_of(&blobs(2, n, 2));
+            assert_eq!(s.len(), HIST_BINS + 3);
+            let hist_sum: f32 = s[..HIST_BINS].iter().sum();
+            assert!((hist_sum - 1.0).abs() < 1e-5, "histogram sums to 1");
+        }
+        // Degenerate single-user population.
+        let s = engine.state_of(&[vec![0.0; 4]]);
+        assert_eq!(s.len(), HIST_BINS + 3);
+    }
+
+    #[test]
+    fn ddqn_converges_to_good_k_on_stationary_population() {
+        let features = blobs(4, 15, 3);
+        let mut engine = GroupingEngine::new(GroupingConfig {
+            k_min: 2,
+            k_max: 8,
+            group_cost: 0.1,
+            epsilon: EpsilonSchedule::linear(1.0, 0.02, 250).unwrap(),
+            seed: 7,
+            ..Default::default()
+        })
+        .unwrap();
+        engine
+            .pretrain(std::slice::from_ref(&features), 400)
+            .unwrap();
+        let k = engine.greedy_k(&features);
+        // True structure is 4 blobs; accept 3–5 (reward is cost-penalised).
+        assert!(
+            (3..=5).contains(&k),
+            "agent should land near k=4, chose {k}"
+        );
+    }
+
+    #[test]
+    fn ddqn_reward_beats_random_after_training() {
+        let features = blobs(3, 20, 4);
+        let mut ddqn = GroupingEngine::new(GroupingConfig {
+            epsilon: EpsilonSchedule::linear(1.0, 0.02, 250).unwrap(),
+            seed: 9,
+            ..Default::default()
+        })
+        .unwrap();
+        ddqn.pretrain(std::slice::from_ref(&features), 350).unwrap();
+        let mut random = GroupingEngine::new(GroupingConfig {
+            strategy: GroupingStrategy::RandomK,
+            seed: 9,
+            ..Default::default()
+        })
+        .unwrap();
+        let ddqn_reward: f64 = (0..20)
+            .map(|_| ddqn.construct(&features).unwrap().reward)
+            .sum::<f64>()
+            / 20.0;
+        let random_reward: f64 = (0..20)
+            .map(|_| random.construct(&features).unwrap().reward)
+            .sum::<f64>()
+            / 20.0;
+        assert!(
+            ddqn_reward > random_reward,
+            "trained DDQN {ddqn_reward:.3} should beat random {random_reward:.3}"
+        );
+    }
+
+    #[test]
+    fn oracle_strategies_find_true_k() {
+        let features = blobs(4, 20, 5);
+        for strategy in [GroupingStrategy::SilhouetteScan, GroupingStrategy::Elbow] {
+            let mut engine = GroupingEngine::new(GroupingConfig {
+                strategy,
+                ..Default::default()
+            })
+            .unwrap();
+            let g = engine.construct(&features).unwrap();
+            assert!(
+                (3..=5).contains(&g.k),
+                "{strategy:?} chose k={} for 4 blobs",
+                g.k
+            );
+        }
+    }
+
+    #[test]
+    fn too_few_users_is_an_error() {
+        let mut engine = GroupingEngine::new(GroupingConfig::default()).unwrap();
+        assert!(engine.construct(&blobs(1, 1, 6)).is_err());
+    }
+
+    #[test]
+    fn k_is_capped_by_population() {
+        let mut engine = GroupingEngine::new(GroupingConfig {
+            strategy: GroupingStrategy::FixedK(12),
+            ..Default::default()
+        })
+        .unwrap();
+        let g = engine.construct(&blobs(1, 5, 7)).unwrap();
+        assert!(g.k <= 5);
+    }
+}
+
+#[cfg(test)]
+mod per_grouping_tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn blobs(k: usize, per: usize, seed: u64) -> Vec<Vec<f64>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut out = Vec::new();
+        for c in 0..k {
+            let center: Vec<f64> = (0..4)
+                .map(|d| ((c * 7 + d * 3) % 10) as f64 * 2.0)
+                .collect();
+            for _ in 0..per {
+                out.push(
+                    center
+                        .iter()
+                        .map(|&x| x + msvs_types::stats::normal(&mut rng, 0.0, 0.15))
+                        .collect(),
+                );
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn prioritized_replay_engine_converges_too() {
+        let features = blobs(4, 15, 31);
+        let mut engine = GroupingEngine::new(GroupingConfig {
+            k_min: 2,
+            k_max: 8,
+            prioritized_replay: true,
+            epsilon: EpsilonSchedule::linear(1.0, 0.02, 250).unwrap(),
+            seed: 7,
+            ..Default::default()
+        })
+        .unwrap();
+        engine
+            .pretrain(std::slice::from_ref(&features), 400)
+            .unwrap();
+        let k = engine.greedy_k(&features);
+        assert!(
+            (3..=5).contains(&k),
+            "PER agent should land near k=4, chose {k}"
+        );
+    }
+}

@@ -1,0 +1,301 @@
+//! Group-level video recommendation.
+//!
+//! "The recommended videos are updated based on video popularity and
+//! users' preferences." For each multicast group we score catalog videos by
+//! a convex mix of global popularity and the group's aggregate preference,
+//! keep the top `n`, and normalise the scores into the distribution the
+//! multicast scheduler will draw the group's feed from.
+
+use msvs_types::{Error, Result, VideoCategory, VideoId};
+use msvs_video::Catalog;
+
+/// Recommender parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RecommenderConfig {
+    /// Videos in each group's recommendation pool.
+    pub top_n: usize,
+    /// Weight on global popularity (`1 - this` goes to group preference).
+    pub popularity_weight: f64,
+}
+
+impl Default for RecommenderConfig {
+    fn default() -> Self {
+        Self {
+            top_n: 50,
+            popularity_weight: 0.4,
+        }
+    }
+}
+
+/// A group's recommendation pool: videos with normalised play
+/// probabilities.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupRecommendation {
+    entries: Vec<(VideoId, f64)>,
+}
+
+impl GroupRecommendation {
+    /// `(video, probability)` pairs, highest probability first.
+    pub fn entries(&self) -> &[(VideoId, f64)] {
+        &self.entries
+    }
+
+    /// Number of recommended videos.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the pool is empty (never true for a valid build).
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Probability assigned to `video` (0 when not in the pool).
+    pub fn probability(&self, video: VideoId) -> f64 {
+        self.entries
+            .iter()
+            .find(|(v, _)| *v == video)
+            .map(|(_, p)| *p)
+            .unwrap_or(0.0)
+    }
+
+    /// Aggregated probability mass per category.
+    pub fn category_mix(&self, catalog: &Catalog) -> Vec<f64> {
+        let mut mix = vec![0.0; VideoCategory::COUNT];
+        for (v, p) in &self.entries {
+            if let Ok(video) = catalog.get(*v) {
+                mix[video.category.index()] += p;
+            }
+        }
+        mix
+    }
+
+    /// Samples a video id from the pool.
+    pub fn sample<R: rand::Rng + ?Sized>(&self, rng: &mut R) -> VideoId {
+        let weights: Vec<f64> = self.entries.iter().map(|(_, p)| *p).collect();
+        let idx = msvs_types::stats::weighted_index(rng, &weights).unwrap_or(0);
+        self.entries[idx].0
+    }
+}
+
+/// Computes a group's aggregate preference: the mean of member preference
+/// vectors, re-normalised.
+///
+/// # Panics
+/// Panics if member vectors have inconsistent lengths.
+pub fn aggregate_preference(member_preferences: &[&[f64]]) -> Vec<f64> {
+    let mut agg = vec![0.0; VideoCategory::COUNT];
+    for p in member_preferences {
+        assert_eq!(p.len(), VideoCategory::COUNT, "preference vector length");
+        for (a, &x) in agg.iter_mut().zip(*p) {
+            *a += x;
+        }
+    }
+    let total: f64 = agg.iter().sum();
+    if total > 0.0 {
+        for a in &mut agg {
+            *a /= total;
+        }
+    } else {
+        agg = vec![1.0 / VideoCategory::COUNT as f64; VideoCategory::COUNT];
+    }
+    agg
+}
+
+/// Builds a group's recommendation pool.
+///
+/// Scores every catalog video as
+/// `popularity_weight * popularity + (1 - popularity_weight) * preference`
+/// (both factors normalised to peak 1), keeps the top `n`, and normalises.
+///
+/// # Errors
+/// Returns `InvalidConfig` for a zero `top_n`, a weight outside `[0, 1]`,
+/// or a preference vector of the wrong length.
+pub fn recommend_for_group(
+    catalog: &Catalog,
+    group_preference: &[f64],
+    config: &RecommenderConfig,
+) -> Result<GroupRecommendation> {
+    if config.top_n == 0 {
+        return Err(Error::invalid_config("top_n", "must be positive"));
+    }
+    if !(0.0..=1.0).contains(&config.popularity_weight) {
+        return Err(Error::invalid_config(
+            "popularity_weight",
+            "must be in [0, 1]",
+        ));
+    }
+    if group_preference.len() != VideoCategory::COUNT {
+        return Err(Error::invalid_config(
+            "group_preference",
+            format!(
+                "need {} entries, got {}",
+                VideoCategory::COUNT,
+                group_preference.len()
+            ),
+        ));
+    }
+    let max_pop = catalog.popularity(VideoId(0)).max(f64::MIN_POSITIVE);
+    let max_pref = group_preference
+        .iter()
+        .copied()
+        .fold(f64::MIN_POSITIVE, f64::max);
+    let mut scored: Vec<(VideoId, f64)> = catalog
+        .videos()
+        .iter()
+        .map(|v| {
+            let pop = catalog.popularity(v.id) / max_pop;
+            let pref = group_preference[v.category.index()] / max_pref;
+            (
+                v.id,
+                config.popularity_weight * pop + (1.0 - config.popularity_weight) * pref,
+            )
+        })
+        .collect();
+    scored.sort_by(|a, b| {
+        b.1.partial_cmp(&a.1)
+            .expect("finite scores")
+            .then(a.0.cmp(&b.0))
+    });
+    scored.truncate(config.top_n);
+    let total: f64 = scored.iter().map(|(_, s)| s).sum();
+    if total > 0.0 {
+        for (_, s) in &mut scored {
+            *s /= total;
+        }
+    } else {
+        let uniform = 1.0 / scored.len() as f64;
+        for (_, s) in &mut scored {
+            *s = uniform;
+        }
+    }
+    Ok(GroupRecommendation { entries: scored })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msvs_video::CatalogConfig;
+
+    fn catalog() -> Catalog {
+        Catalog::generate(CatalogConfig {
+            n_videos: 300,
+            seed: 11,
+            ..Default::default()
+        })
+        .unwrap()
+    }
+
+    fn spiked_pref(cat: VideoCategory, mass: f64) -> Vec<f64> {
+        let rest = (1.0 - mass) / (VideoCategory::COUNT - 1) as f64;
+        (0..VideoCategory::COUNT)
+            .map(|i| if i == cat.index() { mass } else { rest })
+            .collect()
+    }
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        let rec = recommend_for_group(
+            &catalog(),
+            &spiked_pref(VideoCategory::News, 0.6),
+            &RecommenderConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(rec.len(), 50);
+        let total: f64 = rec.entries().iter().map(|(_, p)| p).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        // Sorted descending.
+        let ps: Vec<f64> = rec.entries().iter().map(|(_, p)| *p).collect();
+        assert!(ps.windows(2).all(|w| w[0] >= w[1]));
+    }
+
+    #[test]
+    fn preference_dominates_when_popularity_weight_low() {
+        let c = catalog();
+        let rec = recommend_for_group(
+            &c,
+            &spiked_pref(VideoCategory::Music, 0.8),
+            &RecommenderConfig {
+                top_n: 30,
+                popularity_weight: 0.1,
+            },
+        )
+        .unwrap();
+        let mix = rec.category_mix(&c);
+        assert!(
+            mix[VideoCategory::Music.index()] > 0.6,
+            "music mass {mix:?}"
+        );
+    }
+
+    #[test]
+    fn popularity_dominates_when_weight_high() {
+        let c = catalog();
+        let rec = recommend_for_group(
+            &c,
+            &spiked_pref(VideoCategory::Music, 0.8),
+            &RecommenderConfig {
+                top_n: 30,
+                popularity_weight: 1.0,
+            },
+        )
+        .unwrap();
+        // With pure popularity, the top-ranked video must be in the pool.
+        assert!(rec.probability(VideoId(0)) > 0.0);
+    }
+
+    #[test]
+    fn aggregate_preference_means_and_normalises() {
+        let a = vec![0.5, 0.5, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0];
+        let b = vec![0.0, 0.5, 0.5, 0.0, 0.0, 0.0, 0.0, 0.0];
+        let agg = aggregate_preference(&[&a, &b]);
+        assert!((agg.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!((agg[1] - 0.5).abs() < 1e-12);
+        assert!((agg[0] - 0.25).abs() < 1e-12);
+        // Empty group falls back to uniform.
+        let uni = aggregate_preference(&[]);
+        assert!((uni[0] - 0.125).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_bad_config() {
+        let c = catalog();
+        let pref = spiked_pref(VideoCategory::News, 0.5);
+        assert!(recommend_for_group(
+            &c,
+            &pref,
+            &RecommenderConfig {
+                top_n: 0,
+                ..Default::default()
+            }
+        )
+        .is_err());
+        assert!(recommend_for_group(
+            &c,
+            &pref,
+            &RecommenderConfig {
+                popularity_weight: 1.5,
+                ..Default::default()
+            }
+        )
+        .is_err());
+        assert!(recommend_for_group(&c, &[0.5, 0.5], &RecommenderConfig::default()).is_err());
+    }
+
+    #[test]
+    fn sampling_follows_pool_probabilities() {
+        use rand::SeedableRng;
+        let c = catalog();
+        let rec = recommend_for_group(
+            &c,
+            &spiked_pref(VideoCategory::Food, 0.7),
+            &RecommenderConfig::default(),
+        )
+        .unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let top = rec.entries()[0];
+        let hits = (0..5000).filter(|_| rec.sample(&mut rng) == top.0).count();
+        let emp = hits as f64 / 5000.0;
+        assert!((emp - top.1).abs() < 0.03, "emp {emp} vs p {}", top.1);
+    }
+}

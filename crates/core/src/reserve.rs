@@ -1,0 +1,297 @@
+//! Resource reservation from predicted demand (the paper's future work).
+//!
+//! "For future work, we will investigate how to effectively reserve radio
+//! and computing resources based on the predicted multicast groups'
+//! resource demand." This module implements the natural policy: reserve
+//! `prediction × (1 + headroom)` per group, clipped to the cell's budget,
+//! and score each interval's outcome — covered or violated, and how much
+//! reserved capacity sat idle.
+
+use msvs_types::{CpuCycles, Error, GroupId, ResourceBlocks, Result};
+use serde::{Deserialize, Serialize};
+
+use crate::scheme::PredictionOutcome;
+
+/// Reservation policy parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ReservationPolicy {
+    /// Safety margin on top of the prediction (0.1 = +10%).
+    pub headroom: f64,
+    /// Total radio budget of the cell, resource blocks.
+    pub radio_budget: ResourceBlocks,
+    /// Total computing budget of the edge per interval, cycles.
+    pub computing_budget: CpuCycles,
+}
+
+impl Default for ReservationPolicy {
+    fn default() -> Self {
+        Self {
+            headroom: 0.10,
+            // 100 RBs (a 20 MHz LTE carrier) and a 16-core 3 GHz edge box
+            // over a 5-minute interval.
+            radio_budget: ResourceBlocks(100.0),
+            computing_budget: CpuCycles(16.0 * 3e9 * 300.0),
+        }
+    }
+}
+
+impl ReservationPolicy {
+    /// Validates the policy.
+    ///
+    /// # Errors
+    /// Returns `InvalidConfig` when the headroom is negative/non-finite or
+    /// a budget is non-positive.
+    pub fn validate(&self) -> Result<()> {
+        if !self.headroom.is_finite() || self.headroom < 0.0 {
+            return Err(Error::invalid_config(
+                "headroom",
+                "must be finite and non-negative",
+            ));
+        }
+        if self.radio_budget.value() <= 0.0 {
+            return Err(Error::invalid_config("radio_budget", "must be positive"));
+        }
+        if self.computing_budget.value() <= 0.0 {
+            return Err(Error::invalid_config(
+                "computing_budget",
+                "must be positive",
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// A per-group radio + computing reservation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GroupReservation {
+    /// The group.
+    pub group: GroupId,
+    /// Radio blocks set aside for the group.
+    pub radio: ResourceBlocks,
+    /// Computing cycles set aside for the group.
+    pub computing: CpuCycles,
+}
+
+/// One interval's reservation across all groups.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReservationPlan {
+    /// Per-group reservations.
+    pub groups: Vec<GroupReservation>,
+    /// Whether the headroom-padded demand had to be scaled down to fit the
+    /// budget (an admission-control event).
+    pub radio_scaled: bool,
+    /// Whether computing reservations were scaled to fit.
+    pub computing_scaled: bool,
+}
+
+impl ReservationPlan {
+    /// Total reserved radio.
+    pub fn total_radio(&self) -> ResourceBlocks {
+        self.groups.iter().map(|g| g.radio).sum()
+    }
+
+    /// Total reserved computing.
+    pub fn total_computing(&self) -> CpuCycles {
+        self.groups.iter().map(|g| g.computing).sum()
+    }
+}
+
+/// How an interval's reservation played out against measured demand.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ReservationOutcome {
+    /// Reserved radio covered the actual radio demand.
+    pub radio_covered: bool,
+    /// Fraction of reserved radio left idle (0 when violated).
+    pub radio_idle_fraction: f64,
+    /// Unserved radio demand when violated, resource blocks.
+    pub radio_shortfall: ResourceBlocks,
+    /// Reserved computing covered actual transcoding demand.
+    pub computing_covered: bool,
+    /// Fraction of reserved computing left idle (0 when violated).
+    pub computing_idle_fraction: f64,
+}
+
+/// Builds a reservation plan from a prediction outcome.
+///
+/// Each group gets `prediction × (1 + headroom)`; if the padded total
+/// exceeds the budget, all groups are scaled down proportionally
+/// (weighted fair sharing) and the plan is flagged.
+///
+/// # Errors
+/// Propagates policy validation errors.
+pub fn plan_reservation(
+    outcome: &PredictionOutcome,
+    policy: &ReservationPolicy,
+) -> Result<ReservationPlan> {
+    policy.validate()?;
+    let pad = 1.0 + policy.headroom;
+    let mut groups: Vec<GroupReservation> = outcome
+        .groups
+        .iter()
+        .map(|g| GroupReservation {
+            group: g.group,
+            radio: g.radio * pad,
+            computing: g.computing * pad,
+        })
+        .collect();
+    let total_radio: f64 = groups.iter().map(|g| g.radio.value()).sum();
+    let radio_scaled = total_radio > policy.radio_budget.value();
+    if radio_scaled && total_radio > 0.0 {
+        let scale = policy.radio_budget.value() / total_radio;
+        for g in &mut groups {
+            g.radio = g.radio * scale;
+        }
+    }
+    let total_comp: f64 = groups.iter().map(|g| g.computing.value()).sum();
+    let computing_scaled = total_comp > policy.computing_budget.value();
+    if computing_scaled && total_comp > 0.0 {
+        let scale = policy.computing_budget.value() / total_comp;
+        for g in &mut groups {
+            g.computing = g.computing * scale;
+        }
+    }
+    Ok(ReservationPlan {
+        groups,
+        radio_scaled,
+        computing_scaled,
+    })
+}
+
+/// Scores a plan against the measured interval demand.
+pub fn score_reservation(
+    plan: &ReservationPlan,
+    actual_radio: ResourceBlocks,
+    actual_computing: CpuCycles,
+) -> ReservationOutcome {
+    let reserved_radio = plan.total_radio().value();
+    let reserved_comp = plan.total_computing().value();
+    let radio_covered = reserved_radio >= actual_radio.value();
+    let computing_covered = reserved_comp >= actual_computing.value();
+    ReservationOutcome {
+        radio_covered,
+        radio_idle_fraction: if radio_covered && reserved_radio > 0.0 {
+            (reserved_radio - actual_radio.value()) / reserved_radio
+        } else {
+            0.0
+        },
+        radio_shortfall: if radio_covered {
+            ResourceBlocks::ZERO
+        } else {
+            ResourceBlocks(actual_radio.value() - reserved_radio)
+        },
+        computing_covered,
+        computing_idle_fraction: if computing_covered && reserved_comp > 0.0 {
+            (reserved_comp - actual_computing.value()) / reserved_comp
+        } else {
+            0.0
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::demand::GroupDemandPrediction;
+    use crate::grouping::Grouping;
+    use msvs_types::RepresentationLevel;
+
+    fn outcome_with(radios: &[f64]) -> PredictionOutcome {
+        let groups = radios
+            .iter()
+            .enumerate()
+            .map(|(i, &r)| GroupDemandPrediction {
+                group: GroupId(i as u32),
+                members: vec![],
+                level: RepresentationLevel::P720,
+                min_efficiency: 2.0,
+                radio: ResourceBlocks(r),
+                computing: CpuCycles(r * 1e9),
+                expected_slots: 10.0,
+                expected_traffic_mb: 100.0,
+                expected_waste_mb: 5.0,
+            })
+            .collect();
+        PredictionOutcome {
+            user_order: vec![],
+            grouping: Grouping {
+                k: radios.len(),
+                assignments: vec![],
+                silhouette: 0.5,
+                reward: 0.5,
+            },
+            swiping: vec![],
+            recommendations: vec![],
+            groups,
+        }
+    }
+
+    #[test]
+    fn plan_applies_headroom() {
+        let plan = plan_reservation(
+            &outcome_with(&[10.0, 20.0]),
+            &ReservationPolicy {
+                headroom: 0.1,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(!plan.radio_scaled);
+        assert!((plan.total_radio().value() - 33.0).abs() < 1e-9);
+        assert!((plan.groups[0].radio.value() - 11.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn plan_scales_to_budget() {
+        let plan = plan_reservation(
+            &outcome_with(&[80.0, 80.0]),
+            &ReservationPolicy {
+                headroom: 0.0,
+                radio_budget: ResourceBlocks(100.0),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(plan.radio_scaled);
+        assert!((plan.total_radio().value() - 100.0).abs() < 1e-9);
+        // Proportional split preserved.
+        assert!((plan.groups[0].radio.value() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn score_covered_vs_violated() {
+        let plan = plan_reservation(&outcome_with(&[50.0]), &ReservationPolicy::default()).unwrap();
+        let covered = score_reservation(&plan, ResourceBlocks(50.0), CpuCycles(1e9));
+        assert!(covered.radio_covered);
+        assert!(covered.radio_idle_fraction > 0.0);
+        assert_eq!(covered.radio_shortfall, ResourceBlocks::ZERO);
+
+        let violated = score_reservation(&plan, ResourceBlocks(90.0), CpuCycles(1e9));
+        assert!(!violated.radio_covered);
+        assert_eq!(violated.radio_idle_fraction, 0.0);
+        assert!((violated.radio_shortfall.value() - (90.0 - 55.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rejects_bad_policy() {
+        assert!(ReservationPolicy {
+            headroom: -0.1,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(ReservationPolicy {
+            radio_budget: ResourceBlocks(0.0),
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn empty_outcome_plans_empty() {
+        let plan = plan_reservation(&outcome_with(&[]), &ReservationPolicy::default()).unwrap();
+        assert_eq!(plan.total_radio(), ResourceBlocks::ZERO);
+        let score = score_reservation(&plan, ResourceBlocks::ZERO, CpuCycles::ZERO);
+        assert!(score.radio_covered);
+    }
+}

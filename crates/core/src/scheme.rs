@@ -1,0 +1,640 @@
+//! The end-to-end DT-assisted prediction scheme (Fig. 2 of the paper).
+
+use msvs_channel::Link;
+use msvs_edge::{TranscodeModel, VideoCache};
+use msvs_types::{CpuCycles, Error, GroupId, ResourceBlocks, Result, UserId};
+use msvs_udt::{UdtStore, UserDigitalTwin};
+use msvs_video::Catalog;
+
+use crate::compressor::{CnnCompressor, CompressorConfig};
+use crate::demand::{predict_group_demand, DemandConfig, GroupDemandPrediction};
+use crate::grouping::{Grouping, GroupingConfig, GroupingEngine};
+use crate::recommend::{
+    aggregate_preference, recommend_for_group, GroupRecommendation, RecommenderConfig,
+};
+use crate::swiping::SwipingAbstraction;
+
+/// SNR assumed for users whose twin has no channel sample yet, dB.
+const DEFAULT_SNR_DB: f64 = 10.0;
+
+/// How the predictor estimates each member's channel condition for the
+/// next interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SnrEstimator {
+    /// Mean of the last `window` twin channel samples (robust to fading,
+    /// but lags a moving user by up to one interval).
+    RecentMean {
+        /// Number of recent samples averaged.
+        window: usize,
+    },
+    /// Dead-reckon the user's position to the interval midpoint from the
+    /// twin's location series, then compute the expected SNR from the
+    /// path-loss model. `fading_offset_db` converts the fading-averaged
+    /// SNR to the mean of dB-domain samples (≈ −2.5 dB for Rayleigh).
+    ///
+    /// Falls back to the recent mean when the twin has no location data
+    /// or no base-station positions are configured.
+    Extrapolated {
+        /// dB offset applied for the fading distribution.
+        fading_offset_db: f64,
+    },
+}
+
+impl Default for SnrEstimator {
+    fn default() -> Self {
+        SnrEstimator::RecentMean { window: 64 }
+    }
+}
+
+/// Index of the base station nearest to `pos`.
+fn nearest_bs(pos: msvs_types::Position, bs: &[msvs_types::Position]) -> usize {
+    bs.iter()
+        .enumerate()
+        .min_by(|(_, a), (_, b)| {
+            pos.distance_sq(**a)
+                .partial_cmp(&pos.distance_sq(**b))
+                .expect("finite distances")
+        })
+        .map(|(i, _)| i)
+        .expect("at least one BS when called")
+}
+
+/// Configuration of the full scheme.
+#[derive(Debug, Clone)]
+pub struct SchemeConfig {
+    /// 1D-CNN compressor hyperparameters (the window length here defines
+    /// the twin history fed to clustering).
+    pub compressor: CompressorConfig,
+    /// Group-construction hyperparameters.
+    pub grouping: GroupingConfig,
+    /// Recommendation-pool parameters.
+    pub recommender: RecommenderConfig,
+    /// Demand-prediction parameters.
+    pub demand: DemandConfig,
+    /// Campus extent used to normalise twin locations.
+    pub map_width: f64,
+    /// Campus extent used to normalise twin locations.
+    pub map_height: f64,
+    /// Base-station positions, used by the extrapolating SNR estimator and
+    /// (when [`SchemeConfig::per_bs_accounting`] is set) by per-BS radio
+    /// accounting.
+    pub bs_positions: Vec<msvs_types::Position>,
+    /// Account radio demand per BS: each BS multicasts the group stream to
+    /// its attached members (nearest-BS association from the twin's last
+    /// known location). Requires `bs_positions`.
+    pub per_bs_accounting: bool,
+    /// Channel-condition estimator.
+    pub snr_estimator: SnrEstimator,
+}
+
+impl Default for SchemeConfig {
+    fn default() -> Self {
+        Self {
+            compressor: CompressorConfig::default(),
+            grouping: GroupingConfig::default(),
+            recommender: RecommenderConfig::default(),
+            demand: DemandConfig::default(),
+            map_width: 1200.0,
+            map_height: 1000.0,
+            bs_positions: Vec::new(),
+            per_bs_accounting: false,
+            snr_estimator: SnrEstimator::default(),
+        }
+    }
+}
+
+/// Everything one prediction pass produces.
+#[derive(Debug)]
+pub struct PredictionOutcome {
+    /// Users in the order they were clustered (index ↔ assignment).
+    pub user_order: Vec<UserId>,
+    /// The multicast grouping.
+    pub grouping: Grouping,
+    /// Per-group swiping abstractions (index = group id).
+    pub swiping: Vec<SwipingAbstraction>,
+    /// Per-group recommendation pools.
+    pub recommendations: Vec<GroupRecommendation>,
+    /// Per-group demand predictions.
+    pub groups: Vec<GroupDemandPrediction>,
+}
+
+impl PredictionOutcome {
+    /// Total predicted radio demand across groups.
+    pub fn total_radio(&self) -> ResourceBlocks {
+        self.groups.iter().map(|g| g.radio).sum()
+    }
+
+    /// Total predicted computing demand across groups.
+    pub fn total_computing(&self) -> CpuCycles {
+        self.groups.iter().map(|g| g.computing).sum()
+    }
+
+    /// Total expected prefetch waste across groups, megabits.
+    pub fn total_waste_mb(&self) -> f64 {
+        self.groups.iter().map(|g| g.expected_waste_mb).sum()
+    }
+
+    /// The members of group `g` (user ids).
+    pub fn group_members(&self, g: usize) -> Vec<UserId> {
+        self.grouping
+            .assignments
+            .iter()
+            .enumerate()
+            .filter(|(_, &a)| a == g)
+            .map(|(i, _)| self.user_order[i])
+            .collect()
+    }
+}
+
+/// The DT-assisted resource demand predictor.
+///
+/// Owns the trainable pieces (1D-CNN compressor, DDQN grouping agent) and
+/// re-runs the full abstraction → prediction pipeline each reservation
+/// interval.
+#[derive(Debug)]
+pub struct DtAssistedPredictor {
+    config: SchemeConfig,
+    compressor: CnnCompressor,
+    engine: GroupingEngine,
+    compressor_trained: bool,
+    intervals_predicted: u64,
+}
+
+impl DtAssistedPredictor {
+    /// Builds the predictor.
+    ///
+    /// # Errors
+    /// Propagates configuration errors from the compressor and grouping
+    /// engine.
+    pub fn new(config: SchemeConfig) -> Result<Self> {
+        let compressor = CnnCompressor::new(config.compressor)?;
+        let engine = GroupingEngine::new(config.grouping.clone())?;
+        Ok(Self {
+            config,
+            compressor,
+            engine,
+            compressor_trained: false,
+            intervals_predicted: 0,
+        })
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &SchemeConfig {
+        &self.config
+    }
+
+    /// Number of prediction passes performed.
+    pub fn intervals_predicted(&self) -> u64 {
+        self.intervals_predicted
+    }
+
+    /// Mutable access to the grouping engine (pretraining, inspection).
+    pub fn grouping_engine_mut(&mut self) -> &mut GroupingEngine {
+        &mut self.engine
+    }
+
+    /// Forces a compressor (re)training pass on the next prediction.
+    pub fn invalidate_compressor(&mut self) {
+        self.compressor_trained = false;
+    }
+
+    /// Pretrains the DDQN grouping agent on the current twin population:
+    /// extracts features once, then runs `rounds` construct/observe cycles
+    /// so ε decays and the agent converges before scored predictions.
+    ///
+    /// # Errors
+    /// Propagates feature-extraction and clustering errors.
+    pub fn pretrain_grouping(&mut self, store: &UdtStore, rounds: usize) -> Result<()> {
+        let twins = store.snapshot();
+        if twins.len() < self.config.grouping.k_min {
+            return Err(Error::insufficient(format!(
+                "need at least {} users, store has {}",
+                self.config.grouping.k_min,
+                twins.len()
+            )));
+        }
+        let windows: Vec<_> = twins
+            .iter()
+            .map(|t| {
+                t.feature_window(
+                    self.config.compressor.window,
+                    self.config.map_width,
+                    self.config.map_height,
+                )
+            })
+            .collect();
+        if !self.compressor_trained {
+            self.compressor.train(&windows)?;
+            self.compressor_trained = true;
+        }
+        let features = self.compressor.encode(&windows)?;
+        self.engine.pretrain(&[features], rounds)
+    }
+
+    /// Estimates one member's SNR for the coming interval per the
+    /// configured [`SnrEstimator`].
+    fn estimate_snr(&self, twin: &UserDigitalTwin, link: &Link) -> f64 {
+        let recent = |window: usize| twin.mean_recent_snr_db(window).unwrap_or(DEFAULT_SNR_DB);
+        match self.config.snr_estimator {
+            SnrEstimator::RecentMean { window } => recent(window),
+            SnrEstimator::Extrapolated { fading_offset_db } => {
+                if self.config.bs_positions.is_empty() {
+                    return recent(64);
+                }
+                let horizon = self.config.demand.interval.as_secs_f64() / 2.0;
+                match twin.extrapolated_position(
+                    horizon,
+                    self.config.map_width,
+                    self.config.map_height,
+                ) {
+                    Some(pos) => {
+                        let bs = nearest_bs(pos, &self.config.bs_positions);
+                        let dist = pos.distance_to(self.config.bs_positions[bs]);
+                        link.mean_snr_db(dist) + fading_offset_db
+                    }
+                    None => recent(64),
+                }
+            }
+        }
+    }
+
+    /// Runs one full prediction pass over the twins in `store`.
+    ///
+    /// Steps: extract feature windows → (train then) encode with the
+    /// 1D-CNN → DDQN + K-means++ grouping → per-group swiping abstraction,
+    /// preference aggregation, recommendation → radio & computing demand.
+    ///
+    /// # Errors
+    /// Returns `InsufficientData` when the store has fewer users than the
+    /// minimum group count, and propagates pipeline errors.
+    pub fn predict(
+        &mut self,
+        store: &UdtStore,
+        catalog: &Catalog,
+        cache: &VideoCache,
+        transcode: &TranscodeModel,
+        link: &Link,
+    ) -> Result<PredictionOutcome> {
+        let twins = store.snapshot();
+        if twins.len() < self.config.grouping.k_min {
+            return Err(Error::insufficient(format!(
+                "need at least {} users, store has {}",
+                self.config.grouping.k_min,
+                twins.len()
+            )));
+        }
+        self.intervals_predicted += 1;
+        let user_order: Vec<UserId> = twins.iter().map(|t| t.user()).collect();
+        let windows: Vec<_> = twins
+            .iter()
+            .map(|t| {
+                t.feature_window(
+                    self.config.compressor.window,
+                    self.config.map_width,
+                    self.config.map_height,
+                )
+            })
+            .collect();
+        if !self.compressor_trained {
+            self.compressor.train(&windows)?;
+            self.compressor_trained = true;
+        }
+        let features = self.compressor.encode(&windows)?;
+        let grouping = self.engine.construct(&features)?;
+
+        let mut swiping = Vec::with_capacity(grouping.k);
+        let mut recommendations = Vec::with_capacity(grouping.k);
+        let mut groups = Vec::with_capacity(grouping.k);
+        for (gid, member_idx) in grouping.members().into_iter().enumerate() {
+            if member_idx.is_empty() {
+                swiping.push(SwipingAbstraction::new());
+                recommendations.push(recommend_for_group(
+                    catalog,
+                    &[1.0 / 8.0; 8],
+                    &self.config.recommender,
+                )?);
+                continue;
+            }
+            let member_twins: Vec<&UserDigitalTwin> =
+                member_idx.iter().map(|&i| &twins[i]).collect();
+            // Swiping abstraction from all members' watch histories.
+            let mut abstraction = SwipingAbstraction::new();
+            for t in &member_twins {
+                abstraction.ingest(t.watch_series().iter().map(|(_, r)| r));
+            }
+            // Group preference and recommendation pool.
+            let prefs: Vec<&[f64]> = member_twins.iter().map(|t| t.preference()).collect();
+            let group_pref = aggregate_preference(&prefs);
+            let recommendation =
+                recommend_for_group(catalog, &group_pref, &self.config.recommender)?;
+            // Member channel states and BS attachment (from twin data).
+            let members: Vec<crate::demand::MemberState> = member_twins
+                .iter()
+                .map(|t| {
+                    let snr = self.estimate_snr(t, link);
+                    let bs =
+                        if !self.config.per_bs_accounting || self.config.bs_positions.is_empty() {
+                            0
+                        } else {
+                            let pos = t.latest_position().unwrap_or(msvs_types::Position::ORIGIN);
+                            nearest_bs(pos, &self.config.bs_positions)
+                        };
+                    crate::demand::MemberState {
+                        user: t.user(),
+                        snr_db: snr,
+                        bs,
+                    }
+                })
+                .collect();
+            let prediction = predict_group_demand(
+                GroupId(gid as u32),
+                &members,
+                &abstraction,
+                &recommendation,
+                catalog,
+                cache,
+                transcode,
+                link,
+                &self.config.demand,
+            )?;
+            swiping.push(abstraction);
+            recommendations.push(recommendation);
+            groups.push(prediction);
+        }
+
+        Ok(PredictionOutcome {
+            user_order,
+            grouping,
+            swiping,
+            recommendations,
+            groups,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msvs_channel::LinkConfig;
+    use msvs_types::{Position, RepresentationLevel, SimDuration, SimTime, VideoCategory, VideoId};
+    use msvs_udt::WatchRecord;
+    use msvs_video::CatalogConfig;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn populated_store(n: usize, seed: u64) -> UdtStore {
+        let store = UdtStore::new();
+        let mut rng = StdRng::seed_from_u64(seed);
+        for u in 0..n {
+            let mut twin = UserDigitalTwin::new(UserId(u as u32));
+            // Two archetype populations for clusterable structure.
+            let (snr_base, x, y, watch_mean, fav) = if u % 2 == 0 {
+                (20.0, 500.0, 500.0, 25.0, VideoCategory::News)
+            } else {
+                (6.0, 1000.0, 100.0, 4.0, VideoCategory::Game)
+            };
+            for step in 0..40u64 {
+                let t = SimTime::from_secs(step * 5);
+                twin.update_channel(t, snr_base + rng.gen::<f64>() * 2.0);
+                twin.update_location(
+                    t,
+                    Position::new(x + rng.gen::<f64>() * 30.0, y + rng.gen::<f64>() * 30.0),
+                );
+                twin.record_watch(
+                    t,
+                    WatchRecord {
+                        video: VideoId((step % 50) as u32),
+                        category: if step % 3 == 0 {
+                            fav
+                        } else {
+                            VideoCategory::Music
+                        },
+                        level: RepresentationLevel::P720,
+                        watched: SimDuration::from_secs_f64(
+                            msvs_types::stats::exponential(&mut rng, 1.0 / watch_mean).min(59.0),
+                        ),
+                        video_duration: SimDuration::from_secs(60),
+                        completed: false,
+                    },
+                );
+            }
+            twin.refresh_preference_from_watches(SimTime::from_secs(200), 0.6);
+            store.insert(twin);
+        }
+        store
+    }
+
+    fn scheme_config() -> SchemeConfig {
+        SchemeConfig {
+            compressor: CompressorConfig {
+                window: 16,
+                epochs: 15,
+                ..Default::default()
+            },
+            grouping: GroupingConfig {
+                k_min: 2,
+                k_max: 6,
+                ..Default::default()
+            },
+            ..Default::default()
+        }
+    }
+
+    fn fixtures() -> (Catalog, VideoCache, TranscodeModel, Link) {
+        let catalog = Catalog::generate(CatalogConfig {
+            n_videos: 150,
+            seed: 31,
+            ..Default::default()
+        })
+        .unwrap();
+        let mut cache = VideoCache::new(100_000.0);
+        cache.warm_from(&catalog);
+        (
+            catalog,
+            cache,
+            TranscodeModel::default(),
+            Link::new(LinkConfig::default()),
+        )
+    }
+
+    #[test]
+    fn end_to_end_prediction_runs() {
+        let store = populated_store(30, 1);
+        let (catalog, cache, transcode, link) = fixtures();
+        let mut predictor = DtAssistedPredictor::new(scheme_config()).unwrap();
+        let outcome = predictor
+            .predict(&store, &catalog, &cache, &transcode, &link)
+            .unwrap();
+        assert_eq!(outcome.user_order.len(), 30);
+        assert_eq!(outcome.grouping.assignments.len(), 30);
+        assert!(outcome.grouping.k >= 2 && outcome.grouping.k <= 6);
+        assert!(outcome.total_radio().value() > 0.0);
+        assert!(outcome.total_radio().value().is_finite());
+        assert_eq!(outcome.groups.len(), outcome.recommendations.len());
+        assert_eq!(predictor.intervals_predicted(), 1);
+    }
+
+    #[test]
+    fn group_members_partition_users() {
+        let store = populated_store(24, 2);
+        let (catalog, cache, transcode, link) = fixtures();
+        let mut predictor = DtAssistedPredictor::new(scheme_config()).unwrap();
+        let outcome = predictor
+            .predict(&store, &catalog, &cache, &transcode, &link)
+            .unwrap();
+        let mut all: Vec<UserId> = (0..outcome.grouping.k)
+            .flat_map(|g| outcome.group_members(g))
+            .collect();
+        all.sort();
+        let mut expect = outcome.user_order.clone();
+        expect.sort();
+        assert_eq!(all, expect);
+    }
+
+    #[test]
+    fn too_few_users_errors() {
+        let store = populated_store(1, 3);
+        let (catalog, cache, transcode, link) = fixtures();
+        let mut predictor = DtAssistedPredictor::new(scheme_config()).unwrap();
+        assert!(predictor
+            .predict(&store, &catalog, &cache, &transcode, &link)
+            .is_err());
+    }
+
+    #[test]
+    fn compressor_trains_once_unless_invalidated() {
+        let store = populated_store(20, 4);
+        let (catalog, cache, transcode, link) = fixtures();
+        let mut predictor = DtAssistedPredictor::new(scheme_config()).unwrap();
+        predictor
+            .predict(&store, &catalog, &cache, &transcode, &link)
+            .unwrap();
+        let epochs_after_first = 15;
+        predictor
+            .predict(&store, &catalog, &cache, &transcode, &link)
+            .unwrap();
+        // Second pass must not retrain.
+        // (trained_epochs is internal to the compressor; verify via Debug.)
+        let dbg = format!("{predictor:?}");
+        assert!(
+            dbg.contains(&format!("trained_epochs: {epochs_after_first}")),
+            "{dbg}"
+        );
+        predictor.invalidate_compressor();
+        predictor
+            .predict(&store, &catalog, &cache, &transcode, &link)
+            .unwrap();
+        let dbg = format!("{predictor:?}");
+        assert!(dbg.contains(&format!("trained_epochs: {}", 2 * epochs_after_first)));
+    }
+
+    #[test]
+    fn archetypes_end_up_separated() {
+        // With strongly bimodal users the grouping should mostly separate
+        // the two archetypes (even/odd users).
+        let store = populated_store(40, 5);
+        let (catalog, cache, transcode, link) = fixtures();
+        let mut predictor = DtAssistedPredictor::new(SchemeConfig {
+            grouping: GroupingConfig {
+                k_min: 2,
+                k_max: 4,
+                strategy: crate::grouping::GroupingStrategy::FixedK(2),
+                ..Default::default()
+            },
+            ..scheme_config()
+        })
+        .unwrap();
+        let outcome = predictor
+            .predict(&store, &catalog, &cache, &transcode, &link)
+            .unwrap();
+        // Count the majority label per parity.
+        let mut same = 0;
+        let mut total = 0;
+        for (i, &a) in outcome.grouping.assignments.iter().enumerate() {
+            for (j, &b) in outcome.grouping.assignments.iter().enumerate().skip(i + 1) {
+                let same_arche = outcome.user_order[i].0 % 2 == outcome.user_order[j].0 % 2;
+                if same_arche {
+                    total += 1;
+                    if a == b {
+                        same += 1;
+                    }
+                }
+            }
+        }
+        let purity = same as f64 / total as f64;
+        assert!(purity > 0.8, "same-archetype pairs co-grouped: {purity}");
+    }
+}
+
+#[cfg(test)]
+mod snr_estimator_tests {
+    use super::*;
+    use msvs_types::{Position, SimTime};
+
+    fn twin_moving_away() -> UserDigitalTwin {
+        let mut twin = UserDigitalTwin::new(UserId(1));
+        // Near the BS with strong samples, but moving away at 4 m/s.
+        for s in 0..10u64 {
+            let t = SimTime::from_secs(s * 10);
+            twin.update_channel(t, 20.0);
+            twin.update_location(t, Position::new(100.0 + s as f64 * 40.0, 500.0));
+        }
+        twin
+    }
+
+    fn predictor_with(estimator: SnrEstimator) -> DtAssistedPredictor {
+        DtAssistedPredictor::new(SchemeConfig {
+            bs_positions: vec![Position::new(100.0, 500.0)],
+            snr_estimator: estimator,
+            ..SchemeConfig::default()
+        })
+        .expect("valid config")
+    }
+
+    #[test]
+    fn recent_mean_reports_history_average() {
+        let p = predictor_with(SnrEstimator::RecentMean { window: 64 });
+        let link = Link::new(msvs_channel::LinkConfig::default());
+        let snr = p.estimate_snr(&twin_moving_away(), &link);
+        assert!((snr - 20.0).abs() < 1e-9, "mean of identical samples");
+    }
+
+    #[test]
+    fn extrapolated_projects_ahead_of_last_position() {
+        let p = predictor_with(SnrEstimator::Extrapolated {
+            fading_offset_db: -2.5,
+        });
+        let link = Link::new(msvs_channel::LinkConfig::default());
+        let twin = twin_moving_away();
+        let snr = p.estimate_snr(&twin, &link);
+        // The last known position is 460 m out, midpoint projection adds 150 s x 4 m/s:
+        // the estimate must be well below the SNR at the last position.
+        let last_pos = twin.latest_position().unwrap();
+        let at_last = link.mean_snr_db(last_pos.distance_to(Position::new(100.0, 500.0))) - 2.5;
+        assert!(
+            snr < at_last - 3.0,
+            "projection must anticipate the retreat: {snr:.1} vs {at_last:.1}"
+        );
+    }
+
+    #[test]
+    fn extrapolated_falls_back_without_bs_or_location() {
+        // No BS positions configured: falls back to recent mean.
+        let p = DtAssistedPredictor::new(SchemeConfig {
+            snr_estimator: SnrEstimator::Extrapolated {
+                fading_offset_db: -2.5,
+            },
+            ..SchemeConfig::default()
+        })
+        .expect("valid config");
+        let link = Link::new(msvs_channel::LinkConfig::default());
+        assert!((p.estimate_snr(&twin_moving_away(), &link) - 20.0).abs() < 1e-9);
+        // No location data at all: recent mean again.
+        let p = predictor_with(SnrEstimator::Extrapolated {
+            fading_offset_db: -2.5,
+        });
+        let mut bare = UserDigitalTwin::new(UserId(2));
+        bare.update_channel(SimTime::ZERO, 7.0);
+        assert!((p.estimate_snr(&bare, &link) - 7.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,450 @@
+//! Group-level swiping probability abstraction.
+//!
+//! "Users' watching duration on each kind of video is utilized to update
+//! multicast groups' swiping probability distributions." For each group
+//! and category we estimate the distribution of the *time until the user
+//! swipes away*. A subtlety the naive empirical CDF gets wrong: when a
+//! user watches a video to the end, we never observe their swipe time —
+//! the observation is **right-censored** at the video length. We therefore
+//! use the Kaplan–Meier estimator, which handles censoring exactly; its
+//! complement `1 − S(t)` *is* the cumulative swiping probability of the
+//! paper's Fig. 3(a), and expectations over it drive the demand and
+//! prefetch-waste predictions.
+
+use msvs_types::{SimDuration, VideoCategory};
+use msvs_udt::WatchRecord;
+
+/// Fallback mean watch time (seconds) for categories with no observations.
+const PRIOR_MEAN_SECS: f64 = 14.0;
+
+/// Maximum retained samples per category (rolling window).
+const MAX_SAMPLES: usize = 2048;
+
+/// Horizon used when summarising a category's retention as a scalar
+/// ("expected engagement with a 60-second video").
+const SUMMARY_CAP_SECS: f64 = 60.0;
+
+/// One observation: watch duration, and whether the swipe was actually
+/// observed (`true`) or censored by the video ending (`false`).
+type Observation = (f64, bool);
+
+/// A compiled Kaplan–Meier survival curve: survival value *after* each
+/// distinct event time. `S(t) = 1` before the first event.
+#[derive(Debug, Clone, PartialEq)]
+struct KmCurve {
+    points: Vec<(f64, f64)>, // (event time, survival after it)
+}
+
+impl KmCurve {
+    /// Fits the estimator. At tied times, events precede censorings (the
+    /// standard convention).
+    fn fit(observations: &[Observation]) -> Self {
+        let mut sorted: Vec<Observation> = observations.to_vec();
+        sorted.sort_by(|a, b| {
+            a.0.partial_cmp(&b.0)
+                .expect("durations are finite")
+                .then(b.1.cmp(&a.1))
+        });
+        let mut at_risk = sorted.len() as f64;
+        let mut survival = 1.0;
+        let mut points = Vec::new();
+        let mut i = 0;
+        while i < sorted.len() {
+            let t = sorted[i].0;
+            let mut events = 0.0;
+            let mut censored = 0.0;
+            while i < sorted.len() && sorted[i].0 == t {
+                if sorted[i].1 {
+                    events += 1.0;
+                } else {
+                    censored += 1.0;
+                }
+                i += 1;
+            }
+            if events > 0.0 && at_risk > 0.0 {
+                survival *= 1.0 - events / at_risk;
+                points.push((t, survival));
+            }
+            at_risk -= events + censored;
+        }
+        Self { points }
+    }
+
+    /// `S(t)`: probability the user is still watching after `t` seconds.
+    fn survival(&self, t: f64) -> f64 {
+        let idx = self.points.partition_point(|&(pt, _)| pt <= t);
+        if idx == 0 {
+            1.0
+        } else {
+            self.points[idx - 1].1
+        }
+    }
+
+    /// `∫_0^cap f(S(t)) dt` over the step curve.
+    fn integrate(&self, cap: f64, f: impl Fn(f64) -> f64) -> f64 {
+        if cap <= 0.0 {
+            return 0.0;
+        }
+        let mut acc = 0.0;
+        let mut prev_t = 0.0;
+        let mut prev_s = 1.0;
+        for &(t, s) in &self.points {
+            let t_clamped = t.min(cap);
+            if t_clamped > prev_t {
+                acc += (t_clamped - prev_t) * f(prev_s);
+                prev_t = t_clamped;
+            }
+            prev_s = s;
+            if prev_t >= cap {
+                return acc;
+            }
+        }
+        acc + (cap - prev_t) * f(prev_s)
+    }
+}
+
+/// Per-group, per-category swipe-time distributions (Kaplan–Meier).
+#[derive(Debug, Clone, Default)]
+pub struct SwipingAbstraction {
+    per_category: Vec<Vec<Observation>>,
+}
+
+impl SwipingAbstraction {
+    /// Builds an empty abstraction (all categories on the neutral prior).
+    pub fn new() -> Self {
+        Self {
+            per_category: vec![Vec::new(); VideoCategory::COUNT],
+        }
+    }
+
+    /// Builds directly from watch records.
+    pub fn from_records<'a>(records: impl IntoIterator<Item = &'a WatchRecord>) -> Self {
+        let mut s = Self::new();
+        s.ingest(records);
+        s
+    }
+
+    /// Adds watch records (e.g. all member twins' histories for this
+    /// interval). Completed views enter as right-censored observations;
+    /// oldest samples are dropped beyond the rolling window.
+    pub fn ingest<'a>(&mut self, records: impl IntoIterator<Item = &'a WatchRecord>) {
+        for r in records {
+            let bucket = &mut self.per_category[r.category.index()];
+            if bucket.len() == MAX_SAMPLES {
+                bucket.remove(0);
+            }
+            // `completed` means the swipe was never observed: censored.
+            bucket.push((r.watched.as_secs_f64(), !r.completed));
+        }
+    }
+
+    /// Number of samples held for a category.
+    pub fn sample_count(&self, category: VideoCategory) -> usize {
+        self.per_category[category.index()].len()
+    }
+
+    /// Total samples across categories.
+    pub fn total_samples(&self) -> usize {
+        self.per_category.iter().map(|c| c.len()).sum()
+    }
+
+    fn curve(&self, category: VideoCategory) -> Option<KmCurve> {
+        let bucket = &self.per_category[category.index()];
+        if bucket.is_empty() {
+            None
+        } else {
+            Some(KmCurve::fit(bucket))
+        }
+    }
+
+    /// Cumulative swiping probability: the chance a group member has
+    /// swiped a `category` video away by time `t_secs` (completions are
+    /// not swipes). Kaplan–Meier when data exists, exponential prior
+    /// otherwise.
+    pub fn cumulative_probability(&self, category: VideoCategory, t_secs: f64) -> f64 {
+        match self.curve(category) {
+            Some(curve) => 1.0 - curve.survival(t_secs),
+            None => 1.0 - (-t_secs.max(0.0) / PRIOR_MEAN_SECS).exp(),
+        }
+    }
+
+    /// Expected engagement time with a `category` video of length `cap`:
+    /// `E[min(T_swipe, cap)] = ∫_0^cap S(t) dt`.
+    pub fn expected_engagement(&self, category: VideoCategory, cap: SimDuration) -> SimDuration {
+        let cap_s = cap.as_secs_f64();
+        let secs = match self.curve(category) {
+            Some(curve) => curve.integrate(cap_s, |s| s),
+            None => PRIOR_MEAN_SECS * (1.0 - (-cap_s / PRIOR_MEAN_SECS).exp()),
+        };
+        SimDuration::from_secs_f64(secs)
+    }
+
+    /// Expected *transmission-governing* engagement for a multicast group
+    /// of `n` members: `E[min(max(T_1..T_n), cap)]`, the time until the
+    /// last member swipes (capped at the video length).
+    ///
+    /// Computed as `∫_0^cap (1 - (1 - S(t))^n) dt`. Because completions
+    /// are censored, `S` retains mass at the video end, so large groups
+    /// correctly hold videos to completion.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn expected_max_engagement(
+        &self,
+        category: VideoCategory,
+        n: usize,
+        cap: SimDuration,
+    ) -> SimDuration {
+        assert!(n > 0, "group must have at least one member");
+        let cap_s = cap.as_secs_f64();
+        if cap_s == 0.0 {
+            return SimDuration::ZERO;
+        }
+        let secs = match self.curve(category) {
+            Some(curve) => curve.integrate(cap_s, |s| 1.0 - (1.0 - s).powi(n as i32)),
+            None => integrate_prior_max(n, cap_s),
+        };
+        SimDuration::from_secs_f64(secs)
+    }
+
+    /// Scalar retention summary: expected engagement with a
+    /// 60-second video of this category.
+    pub fn mean_watch_secs(&self, category: VideoCategory) -> f64 {
+        self.expected_engagement(category, SimDuration::from_secs_f64(SUMMARY_CAP_SECS))
+            .as_secs_f64()
+    }
+
+    /// Categories ranked by retention, longest first (Fig. 3(a)'s "users
+    /// watch News most, Game least" ordering).
+    pub fn ranked_categories(&self) -> Vec<(VideoCategory, f64)> {
+        let mut ranked: Vec<(VideoCategory, f64)> = VideoCategory::ALL
+            .iter()
+            .map(|&c| (c, self.mean_watch_secs(c)))
+            .collect();
+        ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite means"));
+        ranked
+    }
+}
+
+fn integrate_prior_max(n: usize, cap: f64) -> f64 {
+    const STEPS: usize = 200;
+    let dt = cap / STEPS as f64;
+    let mut acc = 0.0;
+    for i in 0..STEPS {
+        let t = (i as f64 + 0.5) * dt;
+        let cdf = 1.0 - (-t / PRIOR_MEAN_SECS).exp();
+        acc += (1.0 - cdf.powi(n as i32)) * dt;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msvs_types::{RepresentationLevel, VideoId};
+
+    fn record(cat: VideoCategory, secs: f64) -> WatchRecord {
+        WatchRecord {
+            video: VideoId(0),
+            category: cat,
+            level: RepresentationLevel::P720,
+            watched: SimDuration::from_secs_f64(secs),
+            video_duration: SimDuration::from_secs(60),
+            completed: false,
+        }
+    }
+
+    fn completed(cat: VideoCategory, secs: f64) -> WatchRecord {
+        WatchRecord {
+            completed: true,
+            watched: SimDuration::from_secs_f64(secs),
+            ..record(cat, secs)
+        }
+    }
+
+    #[test]
+    fn empty_abstraction_uses_prior() {
+        let s = SwipingAbstraction::new();
+        assert_eq!(s.total_samples(), 0);
+        let p = s.cumulative_probability(VideoCategory::News, PRIOR_MEAN_SECS);
+        assert!((p - (1.0 - (-1.0f64).exp())).abs() < 1e-9);
+    }
+
+    #[test]
+    fn uncensored_km_matches_empirical_cdf() {
+        // Without completions, KM reduces to 1 - empirical survivor.
+        let recs: Vec<WatchRecord> = (1..=20)
+            .map(|i| record(VideoCategory::Music, i as f64))
+            .collect();
+        let s = SwipingAbstraction::from_records(recs.iter());
+        assert!((s.cumulative_probability(VideoCategory::Music, 10.0) - 0.5).abs() < 1e-9);
+        assert!((s.cumulative_probability(VideoCategory::Music, 0.5) - 0.0).abs() < 1e-9);
+        assert_eq!(s.cumulative_probability(VideoCategory::Music, 100.0), 1.0);
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_bounded() {
+        let recs: Vec<WatchRecord> = (1..=20)
+            .map(|i| {
+                if i % 4 == 0 {
+                    completed(VideoCategory::Music, i as f64)
+                } else {
+                    record(VideoCategory::Music, i as f64)
+                }
+            })
+            .collect();
+        let s = SwipingAbstraction::from_records(recs.iter());
+        let mut prev = -1.0;
+        for t in 0..30 {
+            let p = s.cumulative_probability(VideoCategory::Music, t as f64);
+            assert!((0.0..=1.0).contains(&p));
+            assert!(p >= prev);
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn completions_are_not_swipes() {
+        // Half the views complete at 20 s: the swipe CDF must NOT reach 1
+        // at 20 s — completed viewers never swiped.
+        let mut recs = Vec::new();
+        for i in 0..50 {
+            recs.push(record(VideoCategory::News, 2.0 + (i % 10) as f64));
+            recs.push(completed(VideoCategory::News, 20.0));
+        }
+        let s = SwipingAbstraction::from_records(recs.iter());
+        let p = s.cumulative_probability(VideoCategory::News, 25.0);
+        assert!(
+            p < 0.95,
+            "censored completions must leave survival mass: F(25) = {p}"
+        );
+        // Naive ECDF would say 1.0 here.
+    }
+
+    #[test]
+    fn all_completed_means_nobody_swipes() {
+        let recs: Vec<WatchRecord> = (0..30)
+            .map(|_| completed(VideoCategory::Food, 15.0))
+            .collect();
+        let s = SwipingAbstraction::from_records(recs.iter());
+        assert_eq!(s.cumulative_probability(VideoCategory::Food, 30.0), 0.0);
+        // Expected engagement with any video = its full length.
+        let e = s.expected_engagement(VideoCategory::Food, SimDuration::from_secs(40));
+        assert!((e.as_secs_f64() - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn categories_are_independent() {
+        let mut s = SwipingAbstraction::new();
+        s.ingest([record(VideoCategory::News, 50.0)].iter());
+        assert_eq!(s.sample_count(VideoCategory::News), 1);
+        assert_eq!(s.sample_count(VideoCategory::Game), 0);
+    }
+
+    #[test]
+    fn expected_engagement_matches_hand_calc() {
+        let recs = [
+            record(VideoCategory::Food, 5.0),
+            record(VideoCategory::Food, 15.0),
+            record(VideoCategory::Food, 25.0),
+        ];
+        let s = SwipingAbstraction::from_records(recs.iter());
+        // Uncensored: E[min(T, 20)] = (5 + 15 + 20)/3.
+        let e = s.expected_engagement(VideoCategory::Food, SimDuration::from_secs(20));
+        assert!((e.as_secs_f64() - 40.0 / 3.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn expected_max_grows_with_group_size() {
+        let recs: Vec<WatchRecord> = (0..200)
+            .map(|i| record(VideoCategory::Sports, 2.0 + (i % 30) as f64))
+            .collect();
+        let s = SwipingAbstraction::from_records(recs.iter());
+        let cap = SimDuration::from_secs(60);
+        let e1 = s.expected_max_engagement(VideoCategory::Sports, 1, cap);
+        let e5 = s.expected_max_engagement(VideoCategory::Sports, 5, cap);
+        let e50 = s.expected_max_engagement(VideoCategory::Sports, 50, cap);
+        assert!(e1 < e5 && e5 < e50, "{e1} {e5} {e50}");
+        assert!(e50.as_secs_f64() <= 60.0 + 1e-9);
+        let plain = s.expected_engagement(VideoCategory::Sports, cap);
+        assert!((e1.as_secs_f64() - plain.as_secs_f64()).abs() < 0.05);
+    }
+
+    #[test]
+    fn censoring_keeps_groups_holding_to_completion() {
+        // 30% completion rate: a large group almost surely contains a
+        // completer, so the expected max must approach the video length.
+        let mut recs = Vec::new();
+        for i in 0..100 {
+            if i % 3 == 0 {
+                recs.push(completed(VideoCategory::Comedy, 30.0));
+            } else {
+                recs.push(record(VideoCategory::Comedy, 1.0 + (i % 8) as f64));
+            }
+        }
+        let s = SwipingAbstraction::from_records(recs.iter());
+        let cap = SimDuration::from_secs(30);
+        let e20 = s.expected_max_engagement(VideoCategory::Comedy, 20, cap);
+        assert!(
+            e20.as_secs_f64() > 29.0,
+            "20 members with 33% completers must hold ~30 s, got {e20}"
+        );
+    }
+
+    #[test]
+    fn expected_max_capped_by_video_length() {
+        let recs: Vec<WatchRecord> = (0..50)
+            .map(|_| record(VideoCategory::Comedy, 500.0))
+            .collect();
+        let s = SwipingAbstraction::from_records(recs.iter());
+        let e = s.expected_max_engagement(VideoCategory::Comedy, 10, SimDuration::from_secs(30));
+        assert!((e.as_secs_f64() - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ranked_categories_orders_by_retention() {
+        let mut s = SwipingAbstraction::new();
+        for _ in 0..50 {
+            s.ingest([record(VideoCategory::News, 40.0)].iter());
+            s.ingest([record(VideoCategory::Game, 3.0)].iter());
+        }
+        let ranked = s.ranked_categories();
+        assert_eq!(ranked[0].0, VideoCategory::News);
+        assert_eq!(ranked.last().unwrap().0, VideoCategory::Game);
+    }
+
+    #[test]
+    fn rolling_window_caps_memory() {
+        let mut s = SwipingAbstraction::new();
+        for i in 0..(MAX_SAMPLES + 100) {
+            s.ingest([record(VideoCategory::Music, i as f64 % 30.0)].iter());
+        }
+        assert_eq!(s.sample_count(VideoCategory::Music), MAX_SAMPLES);
+    }
+
+    #[test]
+    fn km_curve_hand_example() {
+        // Classic worked example: events at 2, 4; censored at 3.
+        // S(2) = 1 - 1/3 = 2/3; at t=4 at-risk = 1: S(4) = 2/3 * 0 = 0.
+        let curve = KmCurve::fit(&[(2.0, true), (3.0, false), (4.0, true)]);
+        assert!((curve.survival(1.9) - 1.0).abs() < 1e-12);
+        assert!((curve.survival(2.5) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((curve.survival(3.5) - 2.0 / 3.0).abs() < 1e-12);
+        assert!(curve.survival(4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn km_ties_events_before_censorings() {
+        // Event and censoring both at t=5 with 2 at risk: the event sees
+        // n=2, so S(5) = 1/2 (not 0).
+        let curve = KmCurve::fit(&[(5.0, true), (5.0, false)]);
+        assert!((curve.survival(5.0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one member")]
+    fn zero_member_group_panics() {
+        let s = SwipingAbstraction::new();
+        let _ = s.expected_max_engagement(VideoCategory::News, 0, SimDuration::from_secs(10));
+    }
+}

@@ -1,0 +1,36 @@
+//! Edge server substrate: video cache and transcoding compute model.
+//!
+//! The paper's edge server "stores popular short videos with the highest
+//! representation" and transcodes them down to adapt to network dynamics.
+//! Computing resource demand is therefore the cycle cost of the transcode
+//! jobs an interval triggers. This crate models both halves:
+//!
+//! - [`cache`] — a capacity-bounded LRU cache of `(video, representation)`
+//!   entries with popularity pre-warming;
+//! - [`transcode`] — a cycles-per-output-bit transcode cost model;
+//! - [`server`] — the serving policy gluing them together (hit, transcode
+//!   down from a higher cached representation, or remote fetch).
+//!
+//! # Examples
+//!
+//! ```
+//! use msvs_edge::{EdgeServer, EdgeConfig};
+//! use msvs_video::{Catalog, CatalogConfig};
+//! use msvs_types::RepresentationLevel;
+//!
+//! let catalog = Catalog::generate(CatalogConfig { n_videos: 50, seed: 1,
+//!     ..Default::default() }).unwrap();
+//! let mut edge = EdgeServer::new(EdgeConfig::default(), &catalog);
+//! let video = &catalog.videos()[0];
+//! // Top-popularity video is pre-warmed at the top representation:
+//! let outcome = edge.serve(video, RepresentationLevel::P240);
+//! assert!(outcome.cycles.value() > 0.0, "downscale requires transcoding");
+//! ```
+
+pub mod cache;
+pub mod server;
+pub mod transcode;
+
+pub use cache::VideoCache;
+pub use server::{EdgeConfig, EdgeServer, ServeKind, ServeOutcome};
+pub use transcode::TranscodeModel;

@@ -1,0 +1,29 @@
+//! User mobility substrate.
+//!
+//! The paper places users on the University of Waterloo campus and moves
+//! them along trajectories; the predictor only ever sees the resulting
+//! position time series through the digital twins. This crate provides a
+//! [`CampusMap`] with points of interest (buildings) and three mobility
+//! models: [`RandomWaypoint`], [`GaussMarkov`], and [`StaticMobility`].
+//!
+//! # Examples
+//!
+//! ```
+//! use msvs_mobility::{CampusMap, MobilityModel, RandomWaypoint};
+//! use msvs_types::SimDuration;
+//!
+//! let map = CampusMap::waterloo();
+//! let mut walker = RandomWaypoint::new(&map, 1.4, 42);
+//! let start = walker.position();
+//! for _ in 0..100 {
+//!     walker.advance(SimDuration::from_secs(1));
+//! }
+//! assert!(map.contains(walker.position()));
+//! assert_ne!(start, walker.position());
+//! ```
+
+pub mod map;
+pub mod models;
+
+pub use map::{CampusMap, PointOfInterest};
+pub use models::{GaussMarkov, MobilityModel, RandomWaypoint, StaticMobility};

@@ -1,0 +1,108 @@
+//! Environment abstraction for episodic training.
+
+/// A discrete-action environment a [`crate::DdqnAgent`] can interact with.
+///
+/// Implementors define the observation vector, the action set, and the
+/// transition dynamics; the agent never sees anything else.
+pub trait Environment {
+    /// Dimensionality of the observation vector.
+    fn state_dim(&self) -> usize;
+
+    /// Number of discrete actions.
+    fn action_count(&self) -> usize;
+
+    /// Resets the environment, returning the initial observation.
+    fn reset(&mut self) -> Vec<f32>;
+
+    /// Applies `action`; returns `(next_state, reward, done)`.
+    ///
+    /// # Panics
+    /// Implementations may panic if `action >= action_count()`.
+    fn step(&mut self, action: usize) -> (Vec<f32>, f32, bool);
+}
+
+/// Runs one full episode with the given agent, returning the total reward.
+///
+/// The agent explores (ε-greedy) and learns online from each transition.
+pub fn run_episode<E: Environment>(
+    agent: &mut crate::DdqnAgent,
+    env: &mut E,
+    max_steps: usize,
+) -> f32 {
+    let mut state = env.reset();
+    let mut total = 0.0;
+    for _ in 0..max_steps {
+        let action = agent.act(&state);
+        let (next, reward, done) = env.step(action);
+        total += reward;
+        agent.observe(crate::Transition {
+            state: std::mem::take(&mut state),
+            action,
+            reward,
+            next_state: next.clone(),
+            done,
+        });
+        state = next;
+        if done {
+            break;
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DdqnAgent, DdqnConfig};
+
+    /// A 1-D corridor: start at 0, goal at `len`; actions {left, right}.
+    struct Corridor {
+        pos: usize,
+        len: usize,
+    }
+
+    impl Environment for Corridor {
+        fn state_dim(&self) -> usize {
+            1
+        }
+        fn action_count(&self) -> usize {
+            2
+        }
+        fn reset(&mut self) -> Vec<f32> {
+            self.pos = 0;
+            vec![0.0]
+        }
+        fn step(&mut self, action: usize) -> (Vec<f32>, f32, bool) {
+            assert!(action < 2);
+            if action == 1 {
+                self.pos += 1;
+            } else {
+                self.pos = self.pos.saturating_sub(1);
+            }
+            let done = self.pos >= self.len;
+            let reward = if done { 1.0 } else { -0.05 };
+            (vec![self.pos as f32 / self.len as f32], reward, done)
+        }
+    }
+
+    #[test]
+    fn episode_runner_learns_corridor() {
+        let mut env = Corridor { pos: 0, len: 4 };
+        let mut agent = DdqnAgent::new(DdqnConfig {
+            state_dim: 1,
+            action_count: 2,
+            hidden: vec![16],
+            seed: 3,
+            ..DdqnConfig::default()
+        })
+        .unwrap();
+        for _ in 0..60 {
+            run_episode(&mut agent, &mut env, 50);
+        }
+        // Greedy policy should walk right from everywhere.
+        for p in 0..4 {
+            let s = vec![p as f32 / 4.0];
+            assert_eq!(agent.act_greedy(&s), 1, "pos {p} should go right");
+        }
+    }
+}

@@ -1,0 +1,308 @@
+//! Prioritized experience replay (Schaul et al., 2016), proportional
+//! variant over a sum-tree.
+//!
+//! An optional upgrade to the uniform [`crate::ReplayBuffer`]: transitions
+//! are sampled with probability proportional to `(|td| + eps)^alpha`, and
+//! training applies importance-sampling weights `(N p)^-beta` to stay
+//! unbiased. The grouping agent's rewards are noisy and rare decisions
+//! matter, which is exactly the regime PER was designed for.
+
+use rand::Rng;
+
+use crate::replay::Transition;
+
+/// Binary sum-tree over priorities supporting O(log n) sampling/update.
+#[derive(Debug, Clone)]
+struct SumTree {
+    /// Complete binary tree in array form; leaves start at `capacity - 1`.
+    nodes: Vec<f64>,
+    capacity: usize,
+}
+
+impl SumTree {
+    fn new(capacity: usize) -> Self {
+        Self {
+            nodes: vec![0.0; 2 * capacity - 1],
+            capacity,
+        }
+    }
+
+    fn total(&self) -> f64 {
+        self.nodes[0]
+    }
+
+    fn set(&mut self, leaf: usize, priority: f64) {
+        debug_assert!(leaf < self.capacity);
+        let mut idx = leaf + self.capacity - 1;
+        let delta = priority - self.nodes[idx];
+        self.nodes[idx] = priority;
+        while idx > 0 {
+            idx = (idx - 1) / 2;
+            self.nodes[idx] += delta;
+        }
+    }
+
+    fn get(&self, leaf: usize) -> f64 {
+        self.nodes[leaf + self.capacity - 1]
+    }
+
+    /// Finds the leaf whose cumulative range contains `target`.
+    fn find(&self, mut target: f64) -> usize {
+        let mut idx = 0;
+        while idx < self.capacity - 1 {
+            let left = 2 * idx + 1;
+            if target <= self.nodes[left] || self.nodes[left + 1] <= 0.0 {
+                idx = left;
+            } else {
+                target -= self.nodes[left];
+                idx = left + 1;
+            }
+        }
+        idx - (self.capacity - 1)
+    }
+}
+
+/// A sampled transition with its tree index and importance weight.
+#[derive(Debug, Clone)]
+pub struct PrioritizedSample<'a> {
+    /// Slot index to pass back to [`PrioritizedReplay::update_priority`].
+    pub index: usize,
+    /// The transition.
+    pub transition: &'a Transition,
+    /// Importance-sampling weight, normalised so the batch maximum is 1.
+    pub weight: f32,
+}
+
+/// Proportional prioritized replay buffer.
+#[derive(Debug, Clone)]
+pub struct PrioritizedReplay {
+    tree: SumTree,
+    items: Vec<Transition>,
+    capacity: usize,
+    next: usize,
+    alpha: f64,
+    beta: f64,
+    max_priority: f64,
+}
+
+/// Floor added to priorities so no transition starves.
+const PRIORITY_EPS: f64 = 1e-3;
+
+impl PrioritizedReplay {
+    /// Builds a buffer holding at most `capacity` transitions.
+    ///
+    /// `alpha` shapes the prioritisation (0 = uniform), `beta` the
+    /// importance-sampling correction (1 = fully unbiased).
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0`, or `alpha`/`beta` are outside `[0, 1]`.
+    pub fn new(capacity: usize, alpha: f64, beta: f64) -> Self {
+        assert!(capacity > 0, "replay capacity must be positive");
+        assert!((0.0..=1.0).contains(&alpha), "alpha must be in [0, 1]");
+        assert!((0.0..=1.0).contains(&beta), "beta must be in [0, 1]");
+        Self {
+            tree: SumTree::new(capacity),
+            items: Vec::with_capacity(capacity.min(4096)),
+            capacity,
+            next: 0,
+            alpha,
+            beta,
+            max_priority: 1.0,
+        }
+    }
+
+    /// Number of stored transitions.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Appends a transition at maximal priority (so new experience is
+    /// visited at least once), evicting the oldest when full.
+    pub fn push(&mut self, t: Transition) {
+        let slot = if self.items.len() < self.capacity {
+            self.items.push(t);
+            self.items.len() - 1
+        } else {
+            let slot = self.next;
+            self.items[slot] = t;
+            self.next = (self.next + 1) % self.capacity;
+            slot
+        };
+        self.tree.set(slot, self.max_priority.powf(self.alpha));
+    }
+
+    /// Samples `n` transitions proportionally to priority, with
+    /// importance-sampling weights normalised to a batch max of 1.
+    ///
+    /// Returns an empty vector when the buffer is empty.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R, n: usize) -> Vec<PrioritizedSample<'_>> {
+        if self.items.is_empty() || self.tree.total() <= 0.0 {
+            return Vec::new();
+        }
+        let total = self.tree.total();
+        let len = self.items.len() as f64;
+        let mut out = Vec::with_capacity(n);
+        let mut max_w = f64::MIN_POSITIVE;
+        let mut raw = Vec::with_capacity(n);
+        for _ in 0..n {
+            let target = rng.gen::<f64>() * total;
+            let mut idx = self.tree.find(target);
+            if idx >= self.items.len() {
+                idx = self.items.len() - 1;
+            }
+            let p = (self.tree.get(idx) / total).max(f64::MIN_POSITIVE);
+            let w = (len * p).powf(-self.beta);
+            max_w = max_w.max(w);
+            raw.push((idx, w));
+        }
+        for (idx, w) in raw {
+            out.push(PrioritizedSample {
+                index: idx,
+                transition: &self.items[idx],
+                weight: (w / max_w) as f32,
+            });
+        }
+        out
+    }
+
+    /// Updates a slot's priority from its latest TD error.
+    ///
+    /// # Panics
+    /// Panics if `index` is out of range.
+    pub fn update_priority(&mut self, index: usize, td_error: f64) {
+        assert!(index < self.items.len(), "priority index out of range");
+        let p = td_error.abs() + PRIORITY_EPS;
+        self.max_priority = self.max_priority.max(p);
+        self.tree.set(index, p.powf(self.alpha));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn t(tag: f32) -> Transition {
+        Transition {
+            state: vec![tag],
+            action: 0,
+            reward: tag,
+            next_state: vec![tag],
+            done: false,
+        }
+    }
+
+    #[test]
+    fn sum_tree_total_and_find() {
+        let mut tree = SumTree::new(4);
+        for (i, p) in [1.0, 2.0, 3.0, 4.0].iter().enumerate() {
+            tree.set(i, *p);
+        }
+        assert_eq!(tree.total(), 10.0);
+        assert_eq!(tree.find(0.5), 0);
+        assert_eq!(tree.find(1.5), 1);
+        assert_eq!(tree.find(3.5), 2);
+        assert_eq!(tree.find(9.5), 3);
+        tree.set(1, 0.0);
+        assert_eq!(tree.total(), 8.0);
+    }
+
+    #[test]
+    fn high_priority_dominates_sampling() {
+        let mut buf = PrioritizedReplay::new(16, 1.0, 0.5);
+        for i in 0..8 {
+            buf.push(t(i as f32));
+        }
+        // Crank transition 3's priority way up, zero-ish the rest.
+        for i in 0..8 {
+            buf.update_priority(i, if i == 3 { 10.0 } else { 0.0 });
+        }
+        let mut rng = StdRng::seed_from_u64(1);
+        let samples = buf.sample(&mut rng, 2000);
+        let hot = samples
+            .iter()
+            .filter(|s| s.transition.reward == 3.0)
+            .count();
+        assert!(hot > 1500, "hot transition sampled {hot}/2000");
+    }
+
+    #[test]
+    fn weights_penalise_frequent_samples() {
+        let mut buf = PrioritizedReplay::new(8, 1.0, 1.0);
+        for i in 0..4 {
+            buf.push(t(i as f32));
+        }
+        buf.update_priority(0, 5.0);
+        buf.update_priority(1, 0.1);
+        buf.update_priority(2, 0.1);
+        buf.update_priority(3, 0.1);
+        let mut rng = StdRng::seed_from_u64(2);
+        let samples = buf.sample(&mut rng, 500);
+        let w_hot: Vec<f32> = samples
+            .iter()
+            .filter(|s| s.index == 0)
+            .map(|s| s.weight)
+            .collect();
+        let w_cold: Vec<f32> = samples
+            .iter()
+            .filter(|s| s.index != 0)
+            .map(|s| s.weight)
+            .collect();
+        assert!(!w_hot.is_empty() && !w_cold.is_empty());
+        let hot_mean = w_hot.iter().sum::<f32>() / w_hot.len() as f32;
+        let cold_mean = w_cold.iter().sum::<f32>() / w_cold.len() as f32;
+        assert!(
+            hot_mean < cold_mean,
+            "frequently-sampled transitions need smaller weights: {hot_mean} vs {cold_mean}"
+        );
+        assert!(samples.iter().all(|s| s.weight <= 1.0 + 1e-6));
+    }
+
+    #[test]
+    fn eviction_wraps_oldest_first() {
+        let mut buf = PrioritizedReplay::new(3, 0.6, 0.4);
+        for i in 0..5 {
+            buf.push(t(i as f32));
+        }
+        assert_eq!(buf.len(), 3);
+        let rewards: Vec<f32> = buf.items.iter().map(|x| x.reward).collect();
+        assert!(rewards.contains(&2.0) && rewards.contains(&3.0) && rewards.contains(&4.0));
+    }
+
+    #[test]
+    fn alpha_zero_is_uniform() {
+        let mut buf = PrioritizedReplay::new(8, 0.0, 0.0);
+        for i in 0..8 {
+            buf.push(t(i as f32));
+        }
+        buf.update_priority(0, 100.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        let samples = buf.sample(&mut rng, 4000);
+        let hot = samples.iter().filter(|s| s.index == 0).count();
+        let share = hot as f64 / 4000.0;
+        assert!(
+            (share - 0.125).abs() < 0.03,
+            "alpha=0 must sample uniformly, got share {share}"
+        );
+    }
+
+    #[test]
+    fn empty_sample_is_empty() {
+        let buf = PrioritizedReplay::new(4, 0.5, 0.5);
+        let mut rng = StdRng::seed_from_u64(4);
+        assert!(buf.sample(&mut rng, 8).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn update_bad_index_panics() {
+        let mut buf = PrioritizedReplay::new(4, 0.5, 0.5);
+        buf.update_priority(0, 1.0);
+    }
+}

@@ -1,0 +1,172 @@
+//! Experience replay.
+
+use rand::Rng;
+
+/// One agent-environment interaction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Transition {
+    /// State observed before acting.
+    pub state: Vec<f32>,
+    /// Index of the action taken.
+    pub action: usize,
+    /// Immediate reward.
+    pub reward: f32,
+    /// State observed after acting.
+    pub next_state: Vec<f32>,
+    /// Whether the episode terminated at this transition.
+    pub done: bool,
+}
+
+/// Fixed-capacity ring buffer of transitions with uniform sampling.
+///
+/// # Examples
+/// ```
+/// # use msvs_rl::{ReplayBuffer, Transition};
+/// let mut buf = ReplayBuffer::new(2);
+/// for i in 0..3 {
+///     buf.push(Transition { state: vec![i as f32], action: 0, reward: 0.0,
+///                           next_state: vec![], done: false });
+/// }
+/// assert_eq!(buf.len(), 2, "oldest transition was evicted");
+/// ```
+#[derive(Debug, Clone)]
+pub struct ReplayBuffer {
+    items: Vec<Transition>,
+    capacity: usize,
+    head: usize,
+}
+
+impl ReplayBuffer {
+    /// Builds a buffer holding at most `capacity` transitions.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "replay capacity must be positive");
+        Self {
+            items: Vec::with_capacity(capacity.min(4096)),
+            capacity,
+            head: 0,
+        }
+    }
+
+    /// Number of stored transitions.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Returns `true` when no transitions are stored.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Maximum number of transitions.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Appends a transition, evicting the oldest once full.
+    pub fn push(&mut self, t: Transition) {
+        if self.items.len() < self.capacity {
+            self.items.push(t);
+        } else {
+            self.items[self.head] = t;
+            self.head = (self.head + 1) % self.capacity;
+        }
+    }
+
+    /// Samples `n` transitions uniformly with replacement.
+    ///
+    /// Returns an empty vector when the buffer is empty.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R, n: usize) -> Vec<&Transition> {
+        if self.items.is_empty() {
+            return Vec::new();
+        }
+        (0..n)
+            .map(|_| &self.items[rng.gen_range(0..self.items.len())])
+            .collect()
+    }
+
+    /// Iterates over stored transitions in arbitrary order.
+    pub fn iter(&self) -> impl Iterator<Item = &Transition> {
+        self.items.iter()
+    }
+
+    /// Drops all stored transitions.
+    pub fn clear(&mut self) {
+        self.items.clear();
+        self.head = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn t(tag: f32) -> Transition {
+        Transition {
+            state: vec![tag],
+            action: 0,
+            reward: tag,
+            next_state: vec![tag],
+            done: false,
+        }
+    }
+
+    #[test]
+    fn fills_then_evicts_oldest_first() {
+        let mut buf = ReplayBuffer::new(3);
+        for i in 0..5 {
+            buf.push(t(i as f32));
+        }
+        assert_eq!(buf.len(), 3);
+        let rewards: Vec<f32> = buf.iter().map(|x| x.reward).collect();
+        // 0 and 1 evicted; 2, 3, 4 remain (order unspecified).
+        assert!(rewards.contains(&2.0) && rewards.contains(&3.0) && rewards.contains(&4.0));
+    }
+
+    #[test]
+    fn sample_empty_is_empty() {
+        let buf = ReplayBuffer::new(4);
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(buf.sample(&mut rng, 8).is_empty());
+    }
+
+    #[test]
+    fn sample_covers_contents() {
+        let mut buf = ReplayBuffer::new(8);
+        for i in 0..4 {
+            buf.push(t(i as f32));
+        }
+        let mut rng = StdRng::seed_from_u64(1);
+        let samples = buf.sample(&mut rng, 1000);
+        assert_eq!(samples.len(), 1000);
+        let mut seen = [false; 4];
+        for s in samples {
+            seen[s.reward as usize] = true;
+        }
+        assert!(seen.iter().all(|&b| b), "uniform sampling should hit all 4");
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut buf = ReplayBuffer::new(2);
+        buf.push(t(1.0));
+        buf.clear();
+        assert!(buf.is_empty());
+        assert_eq!(buf.capacity(), 2);
+        // After clear, pushes start fresh.
+        for i in 0..4 {
+            buf.push(t(i as f32));
+        }
+        assert_eq!(buf.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_panics() {
+        let _ = ReplayBuffer::new(0);
+    }
+}

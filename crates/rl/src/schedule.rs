@@ -1,0 +1,113 @@
+//! Exploration schedules.
+
+/// Linearly-decaying ε-greedy schedule.
+///
+/// ε starts at `start`, decays linearly over `decay_steps` agent steps, and
+/// stays at `end` afterwards.
+///
+/// # Examples
+/// ```
+/// # use msvs_rl::EpsilonSchedule;
+/// let s = EpsilonSchedule::linear(1.0, 0.1, 100).unwrap();
+/// assert_eq!(s.value(0), 1.0);
+/// assert!((s.value(50) - 0.55).abs() < 1e-6);
+/// assert_eq!(s.value(100), 0.1);
+/// assert_eq!(s.value(10_000), 0.1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EpsilonSchedule {
+    start: f64,
+    end: f64,
+    decay_steps: u64,
+}
+
+impl EpsilonSchedule {
+    /// Builds a linear schedule.
+    ///
+    /// # Errors
+    /// Returns an error unless `0 <= end <= start <= 1` and
+    /// `decay_steps > 0`.
+    pub fn linear(start: f64, end: f64, decay_steps: u64) -> msvs_types::Result<Self> {
+        if !(0.0..=1.0).contains(&start) || !(0.0..=1.0).contains(&end) || end > start {
+            return Err(msvs_types::Error::invalid_config(
+                "epsilon",
+                format!("need 0 <= end <= start <= 1, got start={start} end={end}"),
+            ));
+        }
+        if decay_steps == 0 {
+            return Err(msvs_types::Error::invalid_config(
+                "decay_steps",
+                "must be positive",
+            ));
+        }
+        Ok(Self {
+            start,
+            end,
+            decay_steps,
+        })
+    }
+
+    /// A constant schedule (no decay).
+    ///
+    /// # Errors
+    /// Returns an error unless `epsilon` is in `[0, 1]`.
+    pub fn constant(epsilon: f64) -> msvs_types::Result<Self> {
+        Self::linear(epsilon, epsilon, 1)
+    }
+
+    /// ε after `step` agent steps.
+    pub fn value(&self, step: u64) -> f64 {
+        if step >= self.decay_steps {
+            return self.end;
+        }
+        let frac = step as f64 / self.decay_steps as f64;
+        self.start + (self.end - self.start) * frac
+    }
+
+    /// Final exploration rate.
+    pub fn end(&self) -> f64 {
+        self.end
+    }
+}
+
+impl Default for EpsilonSchedule {
+    /// 1.0 → 0.05 over 2 000 steps.
+    fn default() -> Self {
+        Self::linear(1.0, 0.05, 2_000).expect("default schedule is valid")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monotone_decay() {
+        let s = EpsilonSchedule::linear(0.9, 0.1, 10).unwrap();
+        let vals: Vec<f64> = (0..12).map(|i| s.value(i)).collect();
+        assert!(vals.windows(2).all(|w| w[1] <= w[0] + 1e-12));
+        assert_eq!(vals[11], 0.1);
+    }
+
+    #[test]
+    fn constant_never_changes() {
+        let s = EpsilonSchedule::constant(0.3).unwrap();
+        assert_eq!(s.value(0), 0.3);
+        assert_eq!(s.value(1_000_000), 0.3);
+    }
+
+    #[test]
+    fn rejects_invalid() {
+        assert!(EpsilonSchedule::linear(1.5, 0.1, 10).is_err());
+        assert!(EpsilonSchedule::linear(0.5, 0.9, 10).is_err());
+        assert!(EpsilonSchedule::linear(0.5, -0.1, 10).is_err());
+        assert!(EpsilonSchedule::linear(0.5, 0.1, 0).is_err());
+    }
+
+    #[test]
+    fn default_is_sane() {
+        let s = EpsilonSchedule::default();
+        assert_eq!(s.value(0), 1.0);
+        assert_eq!(s.end(), 0.05);
+    }
+}

@@ -1,0 +1,266 @@
+//! Simulation configuration.
+
+use msvs_channel::LinkConfig;
+use msvs_core::SchemeConfig;
+use msvs_edge::EdgeConfig;
+use msvs_types::{Error, Result, SimDuration};
+use msvs_udt::CollectionPolicy;
+use msvs_video::{CatalogConfig, EngagementModel};
+
+/// Population shares of the three mobility models.
+///
+/// Shares are relative weights (normalised internally); a campus mixes
+/// walkers heading between buildings, meanderers, and seated users.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MobilityMix {
+    /// Random-waypoint walkers (destination-driven).
+    pub waypoint: f64,
+    /// Gauss–Markov meanderers.
+    pub gauss_markov: f64,
+    /// Static (seated) users.
+    pub static_users: f64,
+}
+
+impl Default for MobilityMix {
+    /// 60% walkers, 15% meanderers, 25% seated.
+    fn default() -> Self {
+        Self {
+            waypoint: 0.6,
+            gauss_markov: 0.15,
+            static_users: 0.25,
+        }
+    }
+}
+
+impl MobilityMix {
+    /// All users walk (the original single-model behaviour).
+    pub fn all_waypoint() -> Self {
+        Self {
+            waypoint: 1.0,
+            gauss_markov: 0.0,
+            static_users: 0.0,
+        }
+    }
+
+    /// Validates that weights are non-negative with a positive sum.
+    ///
+    /// # Errors
+    /// Returns `InvalidConfig` otherwise.
+    pub fn validate(&self) -> Result<()> {
+        let parts = [self.waypoint, self.gauss_markov, self.static_users];
+        if parts.iter().any(|&w| !w.is_finite() || w < 0.0) {
+            return Err(Error::invalid_config(
+                "mobility mix",
+                "weights must be finite and non-negative",
+            ));
+        }
+        if parts.iter().sum::<f64>() <= 0.0 {
+            return Err(Error::invalid_config(
+                "mobility mix",
+                "at least one weight must be positive",
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Which predictor produces the demand figures scored by the simulator.
+///
+/// Grouping and playback always run through the DT pipeline; this selects
+/// whose *demand numbers* are compared against the measured ground truth.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DemandPredictorKind {
+    /// The paper's scheme: swiping-abstraction-driven prediction.
+    Scheme,
+    /// Ablation: same pipeline but every video presumed fully transmitted
+    /// (no swiping abstraction).
+    NaiveFullWatch,
+    /// Twin-free EWMA over past actual demands.
+    HistoricalMean {
+        /// Smoothing factor in `(0, 1]`.
+        alpha: f64,
+    },
+}
+
+/// Full simulation parameters.
+#[derive(Debug, Clone)]
+pub struct SimulationConfig {
+    /// Number of streaming users on campus.
+    pub n_users: usize,
+    /// Number of base stations (placed on a grid).
+    pub n_bs: usize,
+    /// Reservation interval length (paper: 5 minutes).
+    pub interval: SimDuration,
+    /// Number of *scored* reservation intervals to simulate.
+    pub n_intervals: usize,
+    /// Unscored warm-up intervals (twins fill, CNN/DDQN train).
+    pub warmup_intervals: usize,
+    /// Status-collection tick within an interval.
+    pub tick: SimDuration,
+    /// Video catalog generation.
+    pub catalog: CatalogConfig,
+    /// Ground-truth engagement behaviour.
+    pub engagement: EngagementModel,
+    /// Dirichlet sharpness of user tastes (small = opinionated users).
+    pub taste_alpha: f64,
+    /// Pedestrian mean speed, m/s.
+    pub mean_speed: f64,
+    /// Population shares of the mobility models.
+    pub mobility: MobilityMix,
+    /// Twin collection policy (per-attribute periods).
+    pub collection: CollectionPolicy,
+    /// The prediction scheme under test.
+    pub scheme: SchemeConfig,
+    /// Which predictor's numbers get scored.
+    pub predictor: DemandPredictorKind,
+    /// DDQN grouping pretraining rounds run at the end of warm-up.
+    pub pretrain_rounds: usize,
+    /// Optional reservation policy: when set, every interval plans a
+    /// reservation from the prediction and scores it against the measured
+    /// demand (the paper's future work).
+    pub reservation: Option<msvs_core::ReservationPolicy>,
+    /// Per-interval user churn: fraction of users replaced with fresh
+    /// arrivals (new profile, position, and an empty twin) at the start of
+    /// each interval.
+    pub churn_rate: f64,
+    /// Account radio demand per base station (each BS multicasts the group
+    /// stream to its attached members and stops at the last *local*
+    /// swipe). The paper's evaluation uses the simpler single-cell
+    /// accounting, so this defaults to `false`; enabling it is the
+    /// more-realistic extension mode (see EXPERIMENTS.md E8).
+    pub per_bs_accounting: bool,
+    /// Radio link parameters.
+    pub link: LinkConfig,
+    /// Edge server parameters.
+    pub edge: EdgeConfig,
+    /// Master RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SimulationConfig {
+    fn default() -> Self {
+        let mut scheme = SchemeConfig::default();
+        scheme.demand.interval = SimDuration::from_mins(5);
+        Self {
+            n_users: 120,
+            n_bs: 4,
+            interval: SimDuration::from_mins(5),
+            n_intervals: 12,
+            warmup_intervals: 2,
+            tick: SimDuration::from_secs(5),
+            catalog: CatalogConfig::default(),
+            engagement: EngagementModel::default(),
+            taste_alpha: 0.35,
+            mean_speed: 1.4,
+            mobility: MobilityMix::default(),
+            collection: CollectionPolicy::default(),
+            scheme,
+            predictor: DemandPredictorKind::Scheme,
+            pretrain_rounds: 250,
+            reservation: None,
+            churn_rate: 0.0,
+            per_bs_accounting: false,
+            link: LinkConfig::default(),
+            edge: EdgeConfig {
+                // Small enough that the cache churns and transcoding stays
+                // part of steady-state computing demand.
+                cache_capacity_mb: 30_000.0,
+                ..EdgeConfig::default()
+            },
+            seed: 0,
+        }
+    }
+}
+
+impl SimulationConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    /// Returns `InvalidConfig` describing the first violated constraint.
+    pub fn validate(&self) -> Result<()> {
+        if self.n_users < self.scheme.grouping.k_min {
+            return Err(Error::invalid_config(
+                "n_users",
+                format!("need at least k_min={} users", self.scheme.grouping.k_min),
+            ));
+        }
+        if self.n_bs == 0 {
+            return Err(Error::invalid_config("n_bs", "need at least one BS"));
+        }
+        if self.interval == SimDuration::ZERO || self.tick == SimDuration::ZERO {
+            return Err(Error::invalid_config("interval/tick", "must be non-zero"));
+        }
+        if self.tick > self.interval {
+            return Err(Error::invalid_config(
+                "tick",
+                "must not exceed the interval",
+            ));
+        }
+        if self.n_intervals == 0 {
+            return Err(Error::invalid_config("n_intervals", "must be positive"));
+        }
+        if self.taste_alpha <= 0.0 {
+            return Err(Error::invalid_config("taste_alpha", "must be positive"));
+        }
+        if self.mean_speed <= 0.0 {
+            return Err(Error::invalid_config("mean_speed", "must be positive"));
+        }
+        self.mobility.validate()?;
+        if !(0.0..=1.0).contains(&self.churn_rate) {
+            return Err(Error::invalid_config("churn_rate", "must be in [0, 1]"));
+        }
+        if let Some(policy) = &self.reservation {
+            policy.validate()?;
+        }
+        if let DemandPredictorKind::HistoricalMean { alpha } = self.predictor {
+            if !(alpha > 0.0 && alpha <= 1.0) {
+                return Err(Error::invalid_config("alpha", "must be in (0, 1]"));
+            }
+        }
+        self.collection.validate()?;
+        if self.scheme.demand.interval != self.interval {
+            return Err(Error::invalid_config(
+                "scheme.demand.interval",
+                "must match the simulation interval",
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_valid() {
+        SimulationConfig::default().validate().unwrap();
+    }
+
+    #[test]
+    fn catches_inconsistencies() {
+        let bad = SimulationConfig {
+            n_users: 1,
+            ..Default::default()
+        };
+        assert!(bad.validate().is_err());
+        let bad = SimulationConfig {
+            n_bs: 0,
+            ..Default::default()
+        };
+        assert!(bad.validate().is_err());
+        let bad = SimulationConfig {
+            tick: SimDuration::from_mins(10),
+            ..Default::default()
+        };
+        assert!(bad.validate().is_err());
+        let mut bad = SimulationConfig::default();
+        bad.scheme.demand.interval = SimDuration::from_mins(1);
+        assert!(bad.validate().is_err());
+        let bad = SimulationConfig {
+            predictor: DemandPredictorKind::HistoricalMean { alpha: 2.0 },
+            ..Default::default()
+        };
+        assert!(bad.validate().is_err());
+    }
+}

@@ -1,0 +1,199 @@
+//! Plain-text tables and CSV export for simulation reports.
+
+use crate::metrics::SimulationReport;
+
+/// Renders rows as an aligned plain-text table.
+///
+/// # Panics
+/// Panics if any row's length differs from the header's.
+///
+/// # Examples
+/// ```
+/// let t = msvs_sim::format_table(
+///     &["k", "acc"],
+///     &[vec!["4".into(), "0.95".into()]],
+/// );
+/// assert!(t.contains("k"));
+/// assert!(t.contains("0.95"));
+/// ```
+pub fn format_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), cols, "row width must match header");
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: Vec<&str>, widths: &[usize]| -> String {
+        let mut line = String::new();
+        for (i, (c, w)) in cells.iter().zip(widths).enumerate() {
+            if i > 0 {
+                line.push_str("  ");
+            }
+            line.push_str(&format!("{c:>w$}", w = *w));
+        }
+        line.push('\n');
+        line
+    };
+    out.push_str(&fmt_row(headers.to_vec(), &widths));
+    let rule: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+    out.push_str(&"-".repeat(rule));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row.iter().map(String::as_str).collect(), &widths));
+    }
+    out
+}
+
+/// Serialises a [`SimulationReport`] to CSV (header + one row per
+/// interval).
+pub fn to_csv(report: &SimulationReport) -> String {
+    let mut out = String::from(
+        "interval,k,silhouette,predicted_radio_rb,actual_radio_rb,radio_accuracy,\
+         predicted_computing_gcycles,actual_computing_gcycles,computing_accuracy,\
+         actual_unicast_rb,actual_traffic_mb,predicted_waste_mb,actual_waste_mb,\
+         predict_wall_ms,updates_sent,handovers,grouping_stability,mean_level,\
+         reservation_covered,reservation_idle\n",
+    );
+    for r in &report.intervals {
+        let (covered, idle) = match &r.reservation {
+            Some(o) => (
+                if o.radio_covered { "1" } else { "0" }.to_string(),
+                format!("{:.4}", o.radio_idle_fraction),
+            ),
+            None => (String::new(), String::new()),
+        };
+        let stability = r
+            .grouping_stability
+            .map(|s| format!("{s:.4}"))
+            .unwrap_or_default();
+        out.push_str(&format!(
+            "{},{},{:.4},{:.3},{:.3},{:.4},{:.3},{:.3},{:.4},{:.3},{:.3},{:.3},{:.3},{:.3},{},{},{},{:.4},{},{}\n",
+            r.index,
+            r.k,
+            r.silhouette,
+            r.predicted_radio.value(),
+            r.actual_radio.value(),
+            r.radio_accuracy,
+            r.predicted_computing.as_gigacycles(),
+            r.actual_computing.as_gigacycles(),
+            r.computing_accuracy,
+            r.actual_unicast_radio.value(),
+            r.actual_traffic_mb,
+            r.predicted_waste_mb,
+            r.actual_waste_mb,
+            r.predict_wall_ms,
+            r.updates_sent,
+            r.handovers,
+            stability,
+            r.mean_level,
+            covered,
+            idle,
+        ));
+    }
+    out
+}
+
+/// Renders the per-interval table of a report (the Fig. 3(b)-style series).
+pub fn interval_table(report: &SimulationReport) -> String {
+    let rows: Vec<Vec<String>> = report
+        .intervals
+        .iter()
+        .map(|r| {
+            vec![
+                r.index.to_string(),
+                r.k.to_string(),
+                format!("{:.3}", r.silhouette),
+                format!("{:.1}", r.predicted_radio.value()),
+                format!("{:.1}", r.actual_radio.value()),
+                format!("{:.1}%", 100.0 * r.radio_accuracy),
+                format!("{:.2}", r.predicted_computing.as_gigacycles()),
+                format!("{:.2}", r.actual_computing.as_gigacycles()),
+                format!("{:.1}%", 100.0 * r.computing_accuracy),
+            ]
+        })
+        .collect();
+    format_table(
+        &[
+            "interval",
+            "K",
+            "sil",
+            "pred RB",
+            "actual RB",
+            "radio acc",
+            "pred Gcyc",
+            "actual Gcyc",
+            "comp acc",
+        ],
+        &rows,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::IntervalRecord;
+    use msvs_types::{CpuCycles, ResourceBlocks};
+
+    fn report() -> SimulationReport {
+        SimulationReport {
+            intervals: vec![IntervalRecord {
+                index: 0,
+                k: 4,
+                silhouette: 0.62,
+                predicted_radio: ResourceBlocks(120.5),
+                actual_radio: ResourceBlocks(126.0),
+                radio_accuracy: 0.956,
+                predicted_computing: CpuCycles(2.1e9),
+                actual_computing: CpuCycles(2.0e9),
+                computing_accuracy: 0.95,
+                actual_unicast_radio: ResourceBlocks(600.0),
+                actual_traffic_mb: 800.0,
+                predicted_waste_mb: 70.0,
+                actual_waste_mb: 75.0,
+                handovers: 4,
+                grouping_stability: Some(0.9),
+                mean_level: 0.75,
+                predict_wall_ms: 12.0,
+                updates_sent: 1234,
+                reservation: None,
+            }],
+        }
+    }
+
+    #[test]
+    fn table_aligns_and_includes_values() {
+        let t = format_table(
+            &["a", "bbb"],
+            &[vec!["1".into(), "2".into()], vec!["10".into(), "20".into()]],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[2].contains('1'));
+        assert!(lines[3].contains("20"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn ragged_rows_panic() {
+        let _ = format_table(&["a", "b"], &[vec!["1".into()]]);
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let csv = to_csv(&report());
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("interval,k,"));
+        assert!(lines[1].starts_with("0,4,0.6200,120.500,126.000,0.9560,"));
+    }
+
+    #[test]
+    fn interval_table_renders() {
+        let t = interval_table(&report());
+        assert!(t.contains("95.6%"));
+        assert!(t.contains("actual RB"));
+    }
+}

@@ -1,0 +1,119 @@
+//! Workspace-wide error type.
+
+use std::fmt;
+
+/// Convenience alias used across the workspace.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors shared by the msvs crates.
+///
+/// Substrate crates return this type from fallible constructors and
+/// operations so that callers can propagate failures with `?` across crate
+/// boundaries without conversion boilerplate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// A configuration value was outside its legal range.
+    InvalidConfig {
+        /// Name of the offending parameter.
+        field: &'static str,
+        /// Human-readable explanation of the violation.
+        reason: String,
+    },
+    /// An entity id was not found in the relevant registry.
+    NotFound {
+        /// Kind of entity (e.g. `"user"`, `"video"`).
+        entity: &'static str,
+        /// Display form of the missing id.
+        id: String,
+    },
+    /// Input data had an unexpected shape (dimension mismatch etc.).
+    ShapeMismatch {
+        /// What the operation expected.
+        expected: String,
+        /// What it received.
+        actual: String,
+    },
+    /// There was not enough data to perform the operation.
+    InsufficientData {
+        /// What the operation needed.
+        needed: String,
+    },
+}
+
+impl Error {
+    /// Builds an [`Error::InvalidConfig`].
+    pub fn invalid_config(field: &'static str, reason: impl Into<String>) -> Self {
+        Error::InvalidConfig {
+            field,
+            reason: reason.into(),
+        }
+    }
+
+    /// Builds an [`Error::NotFound`].
+    pub fn not_found(entity: &'static str, id: impl fmt::Display) -> Self {
+        Error::NotFound {
+            entity,
+            id: id.to_string(),
+        }
+    }
+
+    /// Builds an [`Error::ShapeMismatch`].
+    pub fn shape(expected: impl Into<String>, actual: impl Into<String>) -> Self {
+        Error::ShapeMismatch {
+            expected: expected.into(),
+            actual: actual.into(),
+        }
+    }
+
+    /// Builds an [`Error::InsufficientData`].
+    pub fn insufficient(needed: impl Into<String>) -> Self {
+        Error::InsufficientData {
+            needed: needed.into(),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::InvalidConfig { field, reason } => {
+                write!(f, "invalid configuration for `{field}`: {reason}")
+            }
+            Error::NotFound { entity, id } => write!(f, "{entity} `{id}` not found"),
+            Error::ShapeMismatch { expected, actual } => {
+                write!(f, "shape mismatch: expected {expected}, got {actual}")
+            }
+            Error::InsufficientData { needed } => {
+                write!(f, "insufficient data: {needed}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_concise() {
+        let e = Error::invalid_config("k_max", "must be >= k_min");
+        assert_eq!(
+            e.to_string(),
+            "invalid configuration for `k_max`: must be >= k_min"
+        );
+        let e = Error::not_found("user", "u9");
+        assert_eq!(e.to_string(), "user `u9` not found");
+        let e = Error::shape("3x4", "3x5");
+        assert_eq!(e.to_string(), "shape mismatch: expected 3x4, got 3x5");
+        let e = Error::insufficient("at least 2 samples");
+        assert_eq!(e.to_string(), "insufficient data: at least 2 samples");
+    }
+
+    #[test]
+    fn is_std_error_send_sync() {
+        fn assert_bounds<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_bounds::<Error>();
+    }
+}

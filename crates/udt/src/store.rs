@@ -1,0 +1,223 @@
+//! The concurrent edge-resident twin registry.
+
+use std::collections::HashMap;
+
+use msvs_types::{Error, Position, Result, SimTime, UserId};
+use parking_lot::RwLock;
+
+use crate::attribute::WatchRecord;
+use crate::twin::UserDigitalTwin;
+
+/// Number of lock shards; a small power of two spreads BS collector
+/// contention without bloating the struct.
+const SHARDS: usize = 16;
+
+/// A sharded, thread-safe map of [`UserDigitalTwin`]s.
+///
+/// Base stations update twins concurrently while the predictor reads
+/// consistent per-twin snapshots; shard-level `RwLock`s keep the common
+/// path (disjoint users) contention-free.
+#[derive(Debug, Default)]
+pub struct UdtStore {
+    shards: Vec<RwLock<HashMap<UserId, UserDigitalTwin>>>,
+}
+
+impl UdtStore {
+    /// Builds an empty store.
+    pub fn new() -> Self {
+        Self {
+            shards: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
+        }
+    }
+
+    fn shard(&self, user: UserId) -> &RwLock<HashMap<UserId, UserDigitalTwin>> {
+        &self.shards[user.index() % SHARDS]
+    }
+
+    /// Number of registered twins.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.read().len()).sum()
+    }
+
+    /// Whether the store holds no twins.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Registers (or replaces) a twin.
+    pub fn insert(&self, twin: UserDigitalTwin) {
+        self.shard(twin.user()).write().insert(twin.user(), twin);
+    }
+
+    /// Removes a twin, returning it if present.
+    pub fn remove(&self, user: UserId) -> Option<UserDigitalTwin> {
+        self.shard(user).write().remove(&user)
+    }
+
+    /// Whether a twin exists for `user`.
+    pub fn contains(&self, user: UserId) -> bool {
+        self.shard(user).read().contains_key(&user)
+    }
+
+    /// All registered user ids (sorted for determinism).
+    pub fn user_ids(&self) -> Vec<UserId> {
+        let mut ids: Vec<UserId> = self
+            .shards
+            .iter()
+            .flat_map(|s| s.read().keys().copied().collect::<Vec<_>>())
+            .collect();
+        ids.sort();
+        ids
+    }
+
+    /// Runs `f` with shared access to a twin.
+    ///
+    /// # Errors
+    /// Returns [`Error::NotFound`] for an unregistered user.
+    pub fn with_twin<T>(&self, user: UserId, f: impl FnOnce(&UserDigitalTwin) -> T) -> Result<T> {
+        let guard = self.shard(user).read();
+        guard
+            .get(&user)
+            .map(f)
+            .ok_or_else(|| Error::not_found("user twin", user))
+    }
+
+    /// Runs `f` with exclusive access to a twin.
+    ///
+    /// # Errors
+    /// Returns [`Error::NotFound`] for an unregistered user.
+    pub fn with_twin_mut<T>(
+        &self,
+        user: UserId,
+        f: impl FnOnce(&mut UserDigitalTwin) -> T,
+    ) -> Result<T> {
+        let mut guard = self.shard(user).write();
+        guard
+            .get_mut(&user)
+            .map(f)
+            .ok_or_else(|| Error::not_found("user twin", user))
+    }
+
+    /// Records a channel sample for `user`.
+    ///
+    /// # Errors
+    /// Returns [`Error::NotFound`] for an unregistered user.
+    pub fn update_channel(&self, user: UserId, at: SimTime, snr_db: f64) -> Result<()> {
+        self.with_twin_mut(user, |t| t.update_channel(at, snr_db))
+    }
+
+    /// Records a location sample for `user`.
+    ///
+    /// # Errors
+    /// Returns [`Error::NotFound`] for an unregistered user.
+    pub fn update_location(&self, user: UserId, at: SimTime, position: Position) -> Result<()> {
+        self.with_twin_mut(user, |t| t.update_location(at, position))
+    }
+
+    /// Records a watch record for `user`.
+    ///
+    /// # Errors
+    /// Returns [`Error::NotFound`] for an unregistered user.
+    pub fn record_watch(&self, user: UserId, at: SimTime, record: WatchRecord) -> Result<()> {
+        self.with_twin_mut(user, |t| t.record_watch(at, record))
+    }
+
+    /// Clones every twin out (snapshot for offline analysis).
+    pub fn snapshot(&self) -> Vec<UserDigitalTwin> {
+        let mut twins: Vec<UserDigitalTwin> = self
+            .shards
+            .iter()
+            .flat_map(|s| s.read().values().cloned().collect::<Vec<_>>())
+            .collect();
+        twins.sort_by_key(|t| t.user());
+        twins
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn insert_contains_remove() {
+        let store = UdtStore::new();
+        assert!(store.is_empty());
+        store.insert(UserDigitalTwin::new(UserId(5)));
+        assert!(store.contains(UserId(5)));
+        assert_eq!(store.len(), 1);
+        assert!(store.remove(UserId(5)).is_some());
+        assert!(store.remove(UserId(5)).is_none());
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn unknown_user_errors() {
+        let store = UdtStore::new();
+        assert!(store
+            .update_channel(UserId(1), SimTime::ZERO, 10.0)
+            .is_err());
+        assert!(store.with_twin(UserId(1), |_| ()).is_err());
+    }
+
+    #[test]
+    fn user_ids_sorted() {
+        let store = UdtStore::new();
+        for id in [30u32, 2, 17, 99, 4] {
+            store.insert(UserDigitalTwin::new(UserId(id)));
+        }
+        let ids: Vec<u32> = store.user_ids().into_iter().map(u32::from).collect();
+        assert_eq!(ids, vec![2, 4, 17, 30, 99]);
+    }
+
+    #[test]
+    fn snapshot_is_deep_and_ordered() {
+        let store = UdtStore::new();
+        store.insert(UserDigitalTwin::new(UserId(2)));
+        store.insert(UserDigitalTwin::new(UserId(1)));
+        store.update_channel(UserId(1), SimTime::ZERO, 5.0).unwrap();
+        let snap = store.snapshot();
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap[0].user(), UserId(1));
+        // Mutating the store after snapshot leaves the snapshot unchanged.
+        store
+            .update_channel(UserId(1), SimTime::from_secs(1), 9.0)
+            .unwrap();
+        assert_eq!(snap[0].latest_snr_db(), Some(5.0));
+    }
+
+    #[test]
+    fn concurrent_updates_from_many_threads() {
+        let store = Arc::new(UdtStore::new());
+        const USERS: u32 = 64;
+        for id in 0..USERS {
+            store.insert(UserDigitalTwin::new(UserId(id)));
+        }
+        let mut handles = Vec::new();
+        for thread in 0..8u32 {
+            let store = Arc::clone(&store);
+            handles.push(std::thread::spawn(move || {
+                for step in 0..200u64 {
+                    let user = UserId((thread * 8 + (step % 8) as u32) % USERS);
+                    store
+                        .update_channel(user, SimTime(step), step as f64)
+                        .unwrap();
+                    store
+                        .update_location(user, SimTime(step), Position::new(1.0, 2.0))
+                        .unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        // Every touched twin has data.
+        let with_data = store
+            .snapshot()
+            .iter()
+            .filter(|t| t.latest_snr_db().is_some())
+            .count();
+        assert!(with_data > 0);
+        assert_eq!(store.len(), USERS as usize);
+    }
+}

@@ -1,0 +1,192 @@
+//! Per-attribute collection scheduling.
+//!
+//! The paper: "Different data attributes are collected with different
+//! frequencies." A [`CollectionPolicy`] declares those periods; the
+//! [`SyncTracker`] decides, per tick, which attributes are due and counts
+//! the uplink signalling this costs (ablated in experiment E4).
+
+use msvs_types::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Collection periods per twin attribute.
+///
+/// Watch records are event-driven (reported when a session ends) and have
+/// no period here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CollectionPolicy {
+    /// Channel-condition sampling period (fast-fading scale).
+    pub channel_every: SimDuration,
+    /// Location sampling period.
+    pub location_every: SimDuration,
+    /// Preference re-estimation period (slow).
+    pub preference_every: SimDuration,
+}
+
+impl Default for CollectionPolicy {
+    /// Channel every 1 s, location every 5 s, preference every 60 s.
+    fn default() -> Self {
+        Self {
+            channel_every: SimDuration::from_secs(1),
+            location_every: SimDuration::from_secs(5),
+            preference_every: SimDuration::from_secs(60),
+        }
+    }
+}
+
+impl CollectionPolicy {
+    /// Validates that all periods are non-zero.
+    ///
+    /// # Errors
+    /// Returns `InvalidConfig` when any period is zero.
+    pub fn validate(&self) -> msvs_types::Result<()> {
+        for (name, d) in [
+            ("channel_every", self.channel_every),
+            ("location_every", self.location_every),
+            ("preference_every", self.preference_every),
+        ] {
+            if d == SimDuration::ZERO {
+                return Err(msvs_types::Error::invalid_config(
+                    "collection policy",
+                    format!("{name} must be non-zero"),
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Uniformly scales every period by `factor` (>1 = rarer collection).
+    ///
+    /// # Panics
+    /// Panics if `factor` is not strictly positive.
+    pub fn scaled(&self, factor: f64) -> Self {
+        assert!(factor > 0.0, "scale factor must be positive");
+        let scale = |d: SimDuration| {
+            SimDuration::from_millis(((d.as_millis() as f64 * factor).round() as u64).max(1))
+        };
+        Self {
+            channel_every: scale(self.channel_every),
+            location_every: scale(self.location_every),
+            preference_every: scale(self.preference_every),
+        }
+    }
+}
+
+/// Tracks what is due for one user and tallies signalling cost.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SyncTracker {
+    last_channel: Option<SimTime>,
+    last_location: Option<SimTime>,
+    last_preference: Option<SimTime>,
+    updates_sent: u64,
+}
+
+impl SyncTracker {
+    /// Builds a tracker with nothing collected yet (everything is due).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total updates recorded by this tracker (signalling cost proxy).
+    pub fn updates_sent(&self) -> u64 {
+        self.updates_sent
+    }
+
+    /// Whether a channel sample is due at `now` under `policy`.
+    pub fn channel_due(&self, policy: &CollectionPolicy, now: SimTime) -> bool {
+        due(self.last_channel, policy.channel_every, now)
+    }
+
+    /// Whether a location sample is due.
+    pub fn location_due(&self, policy: &CollectionPolicy, now: SimTime) -> bool {
+        due(self.last_location, policy.location_every, now)
+    }
+
+    /// Whether a preference refresh is due.
+    pub fn preference_due(&self, policy: &CollectionPolicy, now: SimTime) -> bool {
+        due(self.last_preference, policy.preference_every, now)
+    }
+
+    /// Marks the channel attribute as collected at `now`.
+    pub fn mark_channel(&mut self, now: SimTime) {
+        self.last_channel = Some(now);
+        self.updates_sent += 1;
+    }
+
+    /// Marks the location attribute as collected at `now`.
+    pub fn mark_location(&mut self, now: SimTime) {
+        self.last_location = Some(now);
+        self.updates_sent += 1;
+    }
+
+    /// Marks the preference attribute as collected at `now`.
+    pub fn mark_preference(&mut self, now: SimTime) {
+        self.last_preference = Some(now);
+        self.updates_sent += 1;
+    }
+}
+
+fn due(last: Option<SimTime>, every: SimDuration, now: SimTime) -> bool {
+    match last {
+        None => true,
+        Some(t) => now.since(t) >= every,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn everything_due_initially() {
+        let tracker = SyncTracker::new();
+        let policy = CollectionPolicy::default();
+        let now = SimTime::ZERO;
+        assert!(tracker.channel_due(&policy, now));
+        assert!(tracker.location_due(&policy, now));
+        assert!(tracker.preference_due(&policy, now));
+    }
+
+    #[test]
+    fn due_respects_periods() {
+        let mut tracker = SyncTracker::new();
+        let policy = CollectionPolicy::default();
+        tracker.mark_channel(SimTime::from_secs(10));
+        assert!(!tracker.channel_due(&policy, SimTime::from_secs(10)));
+        assert!(!tracker.channel_due(&policy, SimTime(10_999)));
+        assert!(tracker.channel_due(&policy, SimTime::from_secs(11)));
+    }
+
+    #[test]
+    fn updates_are_counted() {
+        let mut tracker = SyncTracker::new();
+        tracker.mark_channel(SimTime::ZERO);
+        tracker.mark_location(SimTime::ZERO);
+        tracker.mark_preference(SimTime::ZERO);
+        assert_eq!(tracker.updates_sent(), 3);
+    }
+
+    #[test]
+    fn scaled_policy_multiplies_periods() {
+        let p = CollectionPolicy::default().scaled(3.0);
+        assert_eq!(p.channel_every, SimDuration::from_secs(3));
+        assert_eq!(p.location_every, SimDuration::from_secs(15));
+        assert_eq!(p.preference_every, SimDuration::from_secs(180));
+        p.validate().unwrap();
+    }
+
+    #[test]
+    fn scaled_policy_never_hits_zero() {
+        let p = CollectionPolicy::default().scaled(1e-9);
+        p.validate().unwrap();
+        assert!(p.channel_every > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn validate_rejects_zero_period() {
+        let p = CollectionPolicy {
+            channel_every: SimDuration::ZERO,
+            ..Default::default()
+        };
+        assert!(p.validate().is_err());
+    }
+}

@@ -1,0 +1,474 @@
+//! The per-user digital twin.
+
+use msvs_types::{Position, SimDuration, SimTime, UserId, VideoCategory};
+use serde::{Deserialize, Serialize};
+
+use crate::attribute::{TimeSeries, WatchRecord};
+
+/// Default retained history per attribute.
+const CHANNEL_CAPACITY: usize = 256;
+const LOCATION_CAPACITY: usize = 256;
+const WATCH_CAPACITY: usize = 512;
+
+/// Fixed-size multichannel window extracted from a twin for the 1D-CNN.
+///
+/// Channels (in order): normalised SNR, normalised x, normalised y,
+/// normalised recent watch durations. The preference vector rides along
+/// separately — it is a distribution, not a time series.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FeatureWindow {
+    /// `channels x window` matrix, row-major, values roughly in `[0, 1]`.
+    pub series: Vec<Vec<f32>>,
+    /// Current preference distribution over categories.
+    pub preference: Vec<f32>,
+}
+
+impl FeatureWindow {
+    /// Number of time-series channels.
+    pub const CHANNELS: usize = 4;
+
+    /// Window length (all channels share it).
+    pub fn window_len(&self) -> usize {
+        self.series.first().map_or(0, |c| c.len())
+    }
+
+    /// Flattens to a `channels * window + preference` feature vector.
+    pub fn flatten(&self) -> Vec<f32> {
+        let mut out: Vec<f32> = self.series.iter().flatten().copied().collect();
+        out.extend_from_slice(&self.preference);
+        out
+    }
+}
+
+/// Edge-resident mirror of one user's status.
+///
+/// Base stations push channel, location, and watch updates at their
+/// configured frequencies; the prediction scheme reads consistent feature
+/// windows out.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UserDigitalTwin {
+    user: UserId,
+    channel_db: TimeSeries<f64>,
+    location: TimeSeries<Position>,
+    watches: TimeSeries<WatchRecord>,
+    preference: Vec<f64>,
+    preference_updated: Option<SimTime>,
+}
+
+impl UserDigitalTwin {
+    /// Builds an empty twin with a uniform preference prior.
+    pub fn new(user: UserId) -> Self {
+        Self {
+            user,
+            channel_db: TimeSeries::new(CHANNEL_CAPACITY),
+            location: TimeSeries::new(LOCATION_CAPACITY),
+            watches: TimeSeries::new(WATCH_CAPACITY),
+            preference: vec![1.0 / VideoCategory::COUNT as f64; VideoCategory::COUNT],
+            preference_updated: None,
+        }
+    }
+
+    /// The mirrored user.
+    pub fn user(&self) -> UserId {
+        self.user
+    }
+
+    /// Records a channel-condition sample (SNR in dB).
+    ///
+    /// Non-finite samples (a corrupted report from a BS) are dropped: a
+    /// single NaN would otherwise poison every downstream mean, feature
+    /// window, and CNN weight.
+    pub fn update_channel(&mut self, at: SimTime, snr_db: f64) {
+        if snr_db.is_finite() {
+            self.channel_db.push(at, snr_db);
+        }
+    }
+
+    /// Records a location sample (non-finite coordinates are dropped).
+    pub fn update_location(&mut self, at: SimTime, position: Position) {
+        if position.x.is_finite() && position.y.is_finite() {
+            self.location.push(at, position);
+        }
+    }
+
+    /// Records a completed/swiped video view.
+    pub fn record_watch(&mut self, at: SimTime, record: WatchRecord) {
+        self.watches.push(at, record);
+    }
+
+    /// Replaces the preference estimate (e.g. from the recommender's
+    /// label + engagement update described in the paper).
+    ///
+    /// # Panics
+    /// Panics if `preference` is not one mass per category.
+    pub fn set_preference(&mut self, at: SimTime, preference: Vec<f64>) {
+        assert_eq!(
+            preference.len(),
+            VideoCategory::COUNT,
+            "one preference mass per category"
+        );
+        self.preference = preference;
+        self.preference_updated = Some(at);
+    }
+
+    /// Nudges the preference towards the categories the user actually
+    /// engaged with, weighting each watch by retention. `rate` in `[0, 1]`.
+    pub fn refresh_preference_from_watches(&mut self, at: SimTime, rate: f64) {
+        let recent = self.watches.tail(64);
+        if recent.is_empty() {
+            return;
+        }
+        let mut observed = vec![0.0f64; VideoCategory::COUNT];
+        for w in &recent {
+            observed[w.category.index()] += w.retention().max(0.01);
+        }
+        let total: f64 = observed.iter().sum();
+        if total <= 0.0 {
+            return;
+        }
+        let rate = rate.clamp(0.0, 1.0);
+        for (p, o) in self.preference.iter_mut().zip(&observed) {
+            *p = *p * (1.0 - rate) + (o / total) * rate;
+        }
+        let norm: f64 = self.preference.iter().sum();
+        for p in &mut self.preference {
+            *p /= norm;
+        }
+        self.preference_updated = Some(at);
+    }
+
+    /// Latest SNR sample, dB.
+    pub fn latest_snr_db(&self) -> Option<f64> {
+        self.channel_db.latest().map(|(_, v)| *v)
+    }
+
+    /// Mean of the most recent `n` SNR samples, dB.
+    ///
+    /// Single samples carry deep fades; averaging the recent window gives
+    /// the robust channel-condition estimate the predictor needs. Returns
+    /// `None` when the twin has no channel data yet.
+    pub fn mean_recent_snr_db(&self, n: usize) -> Option<f64> {
+        let tail = self.channel_db.tail(n);
+        if tail.is_empty() {
+            return None;
+        }
+        Some(tail.iter().map(|&&v| v).sum::<f64>() / tail.len() as f64)
+    }
+
+    /// Latest known position.
+    pub fn latest_position(&self) -> Option<Position> {
+        self.location.latest().map(|(_, v)| *v)
+    }
+
+    /// Current preference distribution (sums to 1).
+    pub fn preference(&self) -> &[f64] {
+        &self.preference
+    }
+
+    /// Velocity estimate (m/s per axis) from the two most recent location
+    /// samples, or `None` with fewer than two samples or coincident
+    /// timestamps.
+    pub fn velocity_estimate(&self) -> Option<Position> {
+        let n = self.location.len();
+        if n < 2 {
+            return None;
+        }
+        let samples: Vec<&(SimTime, Position)> = self.location.iter().skip(n - 2).collect();
+        let (t0, p0) = *samples[0];
+        let (t1, p1) = *samples[1];
+        let dt = t1.since(t0).as_secs_f64();
+        if dt <= 0.0 {
+            return None;
+        }
+        Some(Position::new((p1.x - p0.x) / dt, (p1.y - p0.y) / dt))
+    }
+
+    /// Dead-reckoned position `horizon_secs` past the newest location
+    /// sample (clamped into the map), or the last known position when no
+    /// velocity estimate exists.
+    ///
+    /// This is the "digital twin predicts where its user will be" feature
+    /// the channel extrapolation estimator builds on.
+    pub fn extrapolated_position(
+        &self,
+        horizon_secs: f64,
+        map_width: f64,
+        map_height: f64,
+    ) -> Option<Position> {
+        let last = self.latest_position()?;
+        match self.velocity_estimate() {
+            Some(v) => Some((last + v * horizon_secs).clamp_to(map_width, map_height)),
+            None => Some(last),
+        }
+    }
+
+    /// Channel-condition series.
+    pub fn channel_series(&self) -> &TimeSeries<f64> {
+        &self.channel_db
+    }
+
+    /// Location series.
+    pub fn location_series(&self) -> &TimeSeries<Position> {
+        &self.location
+    }
+
+    /// Watch-record series.
+    pub fn watch_series(&self) -> &TimeSeries<WatchRecord> {
+        &self.watches
+    }
+
+    /// Watch records observed at or after `since`.
+    pub fn watches_since(&self, since: SimTime) -> Vec<&WatchRecord> {
+        self.watches.since(since)
+    }
+
+    /// Worst staleness across attributes at `now` (`None` when the twin
+    /// has never been updated).
+    pub fn staleness(&self, now: SimTime) -> Option<SimDuration> {
+        [
+            self.channel_db.staleness(now),
+            self.location.staleness(now),
+            self.watches.staleness(now),
+        ]
+        .into_iter()
+        .flatten()
+        .max()
+    }
+
+    /// Extracts the fixed-size [`FeatureWindow`] ending at the newest data.
+    ///
+    /// Channels are normalised to roughly `[0, 1]` using the provided map
+    /// extents and an SNR range of `[-10, 40]` dB. Windows shorter than
+    /// `window` are left-padded by repeating the oldest sample (or 0.5 when
+    /// empty), so freshly-created twins still produce valid input.
+    pub fn feature_window(&self, window: usize, map_width: f64, map_height: f64) -> FeatureWindow {
+        fn pad_left(vals: Vec<f32>, window: usize) -> Vec<f32> {
+            let mut out = Vec::with_capacity(window);
+            let fill = vals.first().copied().unwrap_or(0.5);
+            for _ in vals.len()..window {
+                out.push(fill);
+            }
+            out.extend(vals);
+            out
+        }
+
+        let snr: Vec<f32> = self
+            .channel_db
+            .tail(window)
+            .iter()
+            .map(|&&v| (((v + 10.0) / 50.0) as f32).clamp(0.0, 1.0))
+            .collect();
+        let (xs, ys): (Vec<f32>, Vec<f32>) = self
+            .location
+            .tail(window)
+            .iter()
+            .map(|p| {
+                (
+                    (p.x / map_width.max(1e-9)) as f32,
+                    (p.y / map_height.max(1e-9)) as f32,
+                )
+            })
+            .unzip();
+        // Watch durations normalised by a 60 s short-video ceiling.
+        let watch: Vec<f32> = self
+            .watches
+            .tail(window)
+            .iter()
+            .map(|w| ((w.watched.as_secs_f64() / 60.0) as f32).clamp(0.0, 1.0))
+            .collect();
+
+        FeatureWindow {
+            series: vec![
+                pad_left(snr, window),
+                pad_left(xs, window),
+                pad_left(ys, window),
+                pad_left(watch, window),
+            ],
+            preference: self.preference.iter().map(|&p| p as f32).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msvs_types::{RepresentationLevel, VideoId};
+
+    fn watch(cat: VideoCategory, watched_s: u64, total_s: u64) -> WatchRecord {
+        WatchRecord {
+            video: VideoId(0),
+            category: cat,
+            level: RepresentationLevel::P720,
+            watched: SimDuration::from_secs(watched_s),
+            video_duration: SimDuration::from_secs(total_s),
+            completed: watched_s >= total_s,
+        }
+    }
+
+    #[test]
+    fn new_twin_has_uniform_preference() {
+        let twin = UserDigitalTwin::new(UserId(1));
+        assert_eq!(twin.user(), UserId(1));
+        for &p in twin.preference() {
+            assert!((p - 0.125).abs() < 1e-12);
+        }
+        assert_eq!(twin.latest_snr_db(), None);
+        assert_eq!(twin.staleness(SimTime::from_secs(10)), None);
+    }
+
+    #[test]
+    fn updates_flow_through() {
+        let mut twin = UserDigitalTwin::new(UserId(1));
+        twin.update_channel(SimTime::from_secs(1), 12.0);
+        twin.update_location(SimTime::from_secs(2), Position::new(10.0, 20.0));
+        twin.record_watch(SimTime::from_secs(3), watch(VideoCategory::News, 10, 20));
+        assert_eq!(twin.latest_snr_db(), Some(12.0));
+        assert_eq!(twin.latest_position(), Some(Position::new(10.0, 20.0)));
+        assert_eq!(twin.watch_series().len(), 1);
+        // Worst staleness is the channel (updated at t=1).
+        assert_eq!(
+            twin.staleness(SimTime::from_secs(10)),
+            Some(SimDuration::from_secs(9))
+        );
+    }
+
+    #[test]
+    fn preference_refresh_tracks_engagement() {
+        let mut twin = UserDigitalTwin::new(UserId(1));
+        for i in 0..20 {
+            twin.record_watch(SimTime::from_secs(i), watch(VideoCategory::Music, 30, 30));
+            twin.record_watch(SimTime::from_secs(i), watch(VideoCategory::Game, 1, 30));
+        }
+        twin.refresh_preference_from_watches(SimTime::from_secs(30), 0.5);
+        assert!(
+            twin.preference()[VideoCategory::Music.index()]
+                > twin.preference()[VideoCategory::Game.index()] * 3.0
+        );
+        let total: f64 = twin.preference().iter().sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn feature_window_shape_and_padding() {
+        let twin = UserDigitalTwin::new(UserId(2));
+        let fw = twin.feature_window(16, 1000.0, 1000.0);
+        assert_eq!(fw.series.len(), FeatureWindow::CHANNELS);
+        assert_eq!(fw.window_len(), 16);
+        assert_eq!(fw.preference.len(), VideoCategory::COUNT);
+        // Empty twin pads with 0.5.
+        assert!(fw.series[0].iter().all(|&v| v == 0.5));
+        assert_eq!(fw.flatten().len(), 4 * 16 + 8);
+    }
+
+    #[test]
+    fn feature_window_normalises_into_unit_range() {
+        let mut twin = UserDigitalTwin::new(UserId(3));
+        for i in 0..32u64 {
+            twin.update_channel(SimTime::from_secs(i), -20.0 + i as f64 * 3.0);
+            twin.update_location(SimTime::from_secs(i), Position::new(i as f64 * 40.0, 999.0));
+            twin.record_watch(
+                SimTime::from_secs(i),
+                watch(VideoCategory::News, i.min(60), 60),
+            );
+        }
+        let fw = twin.feature_window(16, 1200.0, 1000.0);
+        for ch in &fw.series {
+            assert_eq!(ch.len(), 16);
+            for &v in ch {
+                assert!((0.0..=1.05).contains(&v), "value {v} escaped range");
+            }
+        }
+        // Newest sample is last.
+        let snr_last = fw.series[0].last().copied().unwrap();
+        assert!(snr_last > fw.series[0][0], "SNR ramp should be increasing");
+    }
+
+    #[test]
+    #[should_panic(expected = "one preference mass per category")]
+    fn set_preference_validates_length() {
+        let mut twin = UserDigitalTwin::new(UserId(1));
+        twin.set_preference(SimTime::ZERO, vec![0.5, 0.5]);
+    }
+}
+
+#[cfg(test)]
+mod extrapolation_tests {
+    use super::*;
+
+    #[test]
+    fn velocity_from_two_samples() {
+        let mut twin = UserDigitalTwin::new(UserId(1));
+        assert_eq!(twin.velocity_estimate(), None);
+        twin.update_location(SimTime::from_secs(0), Position::new(0.0, 0.0));
+        assert_eq!(twin.velocity_estimate(), None, "one sample is not enough");
+        twin.update_location(SimTime::from_secs(10), Position::new(20.0, -10.0));
+        let v = twin.velocity_estimate().unwrap();
+        assert!((v.x - 2.0).abs() < 1e-9);
+        assert!((v.y + 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn extrapolation_dead_reckons_and_clamps() {
+        let mut twin = UserDigitalTwin::new(UserId(1));
+        assert_eq!(twin.extrapolated_position(5.0, 100.0, 100.0), None);
+        twin.update_location(SimTime::from_secs(0), Position::new(50.0, 50.0));
+        // No velocity yet: stays put.
+        assert_eq!(
+            twin.extrapolated_position(5.0, 100.0, 100.0),
+            Some(Position::new(50.0, 50.0))
+        );
+        twin.update_location(SimTime::from_secs(10), Position::new(90.0, 50.0));
+        // 4 m/s east; 5 s ahead = x 110 clamped to 100.
+        assert_eq!(
+            twin.extrapolated_position(5.0, 100.0, 100.0),
+            Some(Position::new(100.0, 50.0))
+        );
+    }
+
+    #[test]
+    fn coincident_timestamps_give_no_velocity() {
+        let mut twin = UserDigitalTwin::new(UserId(1));
+        twin.update_location(SimTime::from_secs(5), Position::new(0.0, 0.0));
+        twin.update_location(SimTime::from_secs(5), Position::new(9.0, 9.0));
+        assert_eq!(twin.velocity_estimate(), None);
+    }
+}
+
+#[cfg(test)]
+mod poison_tests {
+    use super::*;
+
+    #[test]
+    fn non_finite_updates_are_dropped() {
+        let mut twin = UserDigitalTwin::new(UserId(4));
+        twin.update_channel(SimTime::from_secs(1), f64::NAN);
+        twin.update_channel(SimTime::from_secs(2), f64::INFINITY);
+        twin.update_channel(SimTime::from_secs(3), 12.0);
+        assert_eq!(twin.channel_series().len(), 1);
+        assert_eq!(twin.latest_snr_db(), Some(12.0));
+        assert_eq!(twin.mean_recent_snr_db(10), Some(12.0));
+
+        twin.update_location(SimTime::from_secs(1), Position::new(f64::NAN, 5.0));
+        twin.update_location(SimTime::from_secs(2), Position::new(5.0, f64::NEG_INFINITY));
+        twin.update_location(SimTime::from_secs(3), Position::new(5.0, 6.0));
+        assert_eq!(twin.location_series().len(), 1);
+        assert_eq!(twin.latest_position(), Some(Position::new(5.0, 6.0)));
+    }
+
+    #[test]
+    fn feature_window_stays_finite_after_poison_attempts() {
+        let mut twin = UserDigitalTwin::new(UserId(5));
+        for i in 0..20u64 {
+            let v = if i % 3 == 0 {
+                f64::NAN
+            } else {
+                10.0 + i as f64
+            };
+            twin.update_channel(SimTime::from_secs(i), v);
+        }
+        let fw = twin.feature_window(16, 1000.0, 1000.0);
+        for ch in &fw.series {
+            assert!(ch.iter().all(|v| v.is_finite()), "poisoned feature window");
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! Synthetic short-video dataset substrate.
+//!
+//! The paper evaluates on the public *short-video-streaming-challenge*
+//! dataset (video bitrates + user swipe traces). That dataset is not
+//! redistributable here, so this crate generates a statistically equivalent
+//! workload (see DESIGN.md "Substitutions"):
+//!
+//! - [`catalog`] — a video catalog with Zipf popularity, per-category
+//!   composition, realistic short-form durations and per-video bitrate
+//!   ladders;
+//! - [`behavior`] — per-user preference vectors (Dirichlet) and a
+//!   preference-driven engagement model producing watch durations and
+//!   swipe decisions;
+//! - [`session`] — feed simulation: a user swipes through recommended
+//!   videos over an interval, producing the watch sessions that base
+//!   stations report into the digital twins.
+//!
+//! # Examples
+//!
+//! ```
+//! use msvs_video::{Catalog, CatalogConfig, UserProfile, EngagementModel};
+//! use rand::{SeedableRng, rngs::StdRng};
+//!
+//! let catalog = Catalog::generate(CatalogConfig { n_videos: 200, seed: 1,
+//!     ..Default::default() }).unwrap();
+//! let mut rng = StdRng::seed_from_u64(2);
+//! let profile = UserProfile::generate(msvs_types::UserId(0), 0.4, &mut rng);
+//! let video = catalog.sample_for(&profile, &mut rng);
+//! let model = EngagementModel::default();
+//! let (watched, completed) = model.sample_watch(
+//!     &mut rng, profile.interest(video.category), video.top_level(), video.duration);
+//! assert!(watched <= video.duration);
+//! let _ = completed;
+//! ```
+
+pub mod behavior;
+pub mod catalog;
+pub mod session;
+
+pub use behavior::{EngagementModel, UserProfile};
+pub use catalog::{Catalog, CatalogConfig, CatalogRow, Video};
+pub use session::{simulate_feed, FeedConfig, WatchSession};

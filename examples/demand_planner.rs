@@ -1,0 +1,81 @@
+//! Demand planner: the paper's future-work teaser — reserve radio
+//! resources from the scheme's predictions plus a safety headroom, then
+//! measure how often the reservation actually covered the interval and how
+//! much capacity sat idle.
+//!
+//! ```text
+//! cargo run --release --example demand_planner
+//! ```
+
+use msvs::sim::{Simulation, SimulationConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let config = SimulationConfig {
+        n_users: 100,
+        n_intervals: 12,
+        warmup_intervals: 2,
+        seed: 23,
+        ..Default::default()
+    };
+    let report = Simulation::run(config)?;
+
+    println!(
+        "{:>9} {:>12} {:>12} {:>10}",
+        "headroom", "coverage", "idle RB %", "verdict"
+    );
+    println!("{}", "-".repeat(48));
+    let headrooms = [0.0, 0.05, 0.10, 0.20, 0.35];
+    let mut safe_headroom: Option<f64> = None;
+    for headroom in headrooms {
+        let mut covered = 0usize;
+        let mut idle_fraction = 0.0;
+        for r in &report.intervals {
+            let reserved = r.predicted_radio.value() * (1.0 + headroom);
+            let actual = r.actual_radio.value();
+            if reserved >= actual {
+                covered += 1;
+                if reserved > 0.0 {
+                    idle_fraction += (reserved - actual) / reserved;
+                }
+            }
+        }
+        let n = report.intervals.len();
+        let coverage = covered as f64 / n as f64;
+        let idle = if covered > 0 {
+            100.0 * idle_fraction / covered as f64
+        } else {
+            0.0
+        };
+        let verdict = if coverage >= 0.99 {
+            if safe_headroom.is_none() {
+                safe_headroom = Some(headroom);
+            }
+            "safe"
+        } else if coverage >= 0.9 {
+            "mostly safe"
+        } else {
+            "risky"
+        };
+        println!(
+            "{:>8.0}% {:>11.0}% {:>12.1} {:>10}",
+            100.0 * headroom,
+            100.0 * coverage,
+            idle,
+            verdict
+        );
+    }
+    match safe_headroom {
+        Some(h) => println!(
+            "\nWith ~{:.0}% prediction accuracy, a {:.0}% headroom covers every\n\
+             interval while keeping reserved-but-idle capacity low — the\n\
+             provisioning rule the paper's future work points at.",
+            100.0 * report.mean_radio_accuracy(),
+            100.0 * h
+        ),
+        None => println!(
+            "\nEven the largest tested headroom missed some intervals — raise\n\
+             the headroom sweep for this seed."
+        ),
+    }
+    Ok(())
+}

@@ -1,0 +1,79 @@
+//! Swiping survival analysis: why the swiping abstraction is a
+//! Kaplan–Meier estimator and not a plain empirical CDF.
+//!
+//! When a user watches a short video to the end, their swipe time is never
+//! observed — the sample is right-censored at the video length. Counting
+//! completions as swipes (the naive ECDF) overstates early swiping, which
+//! cascades into badly over-predicted prefetch waste. This example builds
+//! both estimators from the same synthetic ground truth and compares them
+//! against the true distribution.
+//!
+//! ```text
+//! cargo run --release --example swiping_survival
+//! ```
+
+use msvs::core::SwipingAbstraction;
+use msvs::types::stats::Ecdf;
+use msvs::types::{RepresentationLevel, SimDuration, VideoCategory, VideoId};
+use msvs::udt::WatchRecord;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    // Ground truth: swipe times are Exponential(mean 12 s); every view is
+    // of a 20-second video, so watches past 20 s complete (censored).
+    const TRUE_MEAN: f64 = 12.0;
+    const VIDEO_LEN: f64 = 20.0;
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut records = Vec::new();
+    let mut naive_durations = Vec::new();
+    for _ in 0..4000 {
+        let swipe_t = msvs::types::stats::exponential(&mut rng, 1.0 / TRUE_MEAN);
+        let (watched, completed) = if swipe_t >= VIDEO_LEN {
+            (VIDEO_LEN, true)
+        } else {
+            (swipe_t, false)
+        };
+        naive_durations.push(watched);
+        records.push(WatchRecord {
+            video: VideoId(0),
+            category: VideoCategory::News,
+            level: RepresentationLevel::P720,
+            watched: SimDuration::from_secs_f64(watched),
+            video_duration: SimDuration::from_secs_f64(VIDEO_LEN),
+            completed,
+        });
+    }
+    let km = SwipingAbstraction::from_records(records.iter());
+    let naive = Ecdf::new(naive_durations.iter().copied());
+
+    println!("true swipe distribution: Exp(mean {TRUE_MEAN} s); videos are {VIDEO_LEN} s\n");
+    println!(
+        "{:>6} {:>12} {:>12} {:>12}",
+        "t (s)", "true F(t)", "KM", "naive ECDF"
+    );
+    for t in [2.0, 5.0, 10.0, 15.0, 19.0, 20.0, 25.0] {
+        let truth = 1.0 - (-t / TRUE_MEAN).exp();
+        let km_f = km.cumulative_probability(VideoCategory::News, t);
+        let naive_f = naive.eval(t);
+        println!("{t:>6.0} {truth:>12.3} {km_f:>12.3} {naive_f:>12.3}");
+    }
+    println!(
+        "\nAt t = {VIDEO_LEN}s the naive ECDF jumps to 1.0 — it counts every\n\
+         completion as a swipe — while Kaplan–Meier correctly reports the\n\
+         ~{:.0}% of viewers who were still watching when the video ended.\n",
+        100.0 * (-VIDEO_LEN / TRUE_MEAN).exp()
+    );
+
+    // The downstream consequence: expected hold time of a 20-member group.
+    let cap = SimDuration::from_secs_f64(VIDEO_LEN);
+    let hold = km.expected_max_engagement(VideoCategory::News, 20, cap);
+    println!(
+        "expected multicast hold time for a 20-member group: {:.1} s of {VIDEO_LEN} s\n\
+         (with ~{:.0}% completers per view, some member almost always holds\n\
+         the stream to the end — which is why naive full-length provisioning\n\
+         is nearly right for big groups and badly wrong for small ones).",
+        hold.as_secs_f64(),
+        100.0 * (-VIDEO_LEN / TRUE_MEAN).exp()
+    );
+}

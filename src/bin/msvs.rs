@@ -1,0 +1,237 @@
+//! `msvs` — command-line front end for the simulator.
+//!
+//! ```text
+//! msvs run [--users N] [--intervals N] [--seed S] [--churn F]
+//!          [--per-bs] [--predictor scheme|naive|ewma] [--csv PATH]
+//! msvs swiping [--users N] [--seed S]
+//! msvs reserve [--headroom F] [--users N] [--seed S]
+//! msvs help
+//! ```
+
+use std::process::ExitCode;
+
+use msvs::core::ReservationPolicy;
+use msvs::sim::{report, DemandPredictorKind, Simulation, SimulationConfig};
+use msvs::types::VideoCategory;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let command = args.first().map(String::as_str).unwrap_or("help");
+    let result = match command {
+        "run" => cmd_run(&args[1..]),
+        "swiping" => cmd_swiping(&args[1..]),
+        "reserve" => cmd_reserve(&args[1..]),
+        "help" | "--help" | "-h" => {
+            print_help();
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}` (try `msvs help`)")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn print_help() {
+    println!(
+        "msvs — digital twin-assisted multicast short video streaming simulator\n\
+         \n\
+         USAGE:\n\
+         \x20 msvs run     [--users N] [--intervals N] [--seed S] [--churn F]\n\
+         \x20              [--per-bs] [--predictor scheme|naive|ewma] [--csv PATH]\n\
+         \x20 msvs swiping [--users N] [--seed S]      print a group's swipe curves\n\
+         \x20 msvs reserve [--headroom F] [--users N] [--seed S]\n\
+         \x20 msvs help\n\
+         \n\
+         `run` simulates the campus scenario and prints the per-interval\n\
+         predicted-vs-actual scorecard (Fig. 3(b) of the paper)."
+    );
+}
+
+/// Minimal flag parser: `--key value` pairs plus boolean flags.
+struct Flags<'a> {
+    args: &'a [String],
+}
+
+impl<'a> Flags<'a> {
+    fn new(args: &'a [String]) -> Result<Self, String> {
+        Ok(Self { args })
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.args.iter().any(|a| a == name)
+    }
+
+    fn value(&self, name: &str) -> Option<&str> {
+        self.args
+            .iter()
+            .position(|a| a == name)
+            .and_then(|i| self.args.get(i + 1))
+            .map(String::as_str)
+    }
+
+    fn parse<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.value(name) {
+            None => Ok(default),
+            Some(raw) => raw
+                .parse()
+                .map_err(|_| format!("invalid value `{raw}` for {name}")),
+        }
+    }
+}
+
+fn base_config(flags: &Flags<'_>) -> Result<SimulationConfig, String> {
+    let mut cfg = SimulationConfig {
+        n_users: flags.parse("--users", 120usize)?,
+        n_intervals: flags.parse("--intervals", 12usize)?,
+        seed: flags.parse("--seed", 42u64)?,
+        churn_rate: flags.parse("--churn", 0.0f64)?,
+        per_bs_accounting: flags.has("--per-bs"),
+        ..Default::default()
+    };
+    cfg.predictor = match flags.value("--predictor").unwrap_or("scheme") {
+        "scheme" => DemandPredictorKind::Scheme,
+        "naive" => DemandPredictorKind::NaiveFullWatch,
+        "ewma" => DemandPredictorKind::HistoricalMean { alpha: 0.3 },
+        other => return Err(format!("unknown predictor `{other}`")),
+    };
+    cfg.validate().map_err(|e| e.to_string())?;
+    Ok(cfg)
+}
+
+fn cmd_run(args: &[String]) -> Result<(), String> {
+    let flags = Flags::new(args)?;
+    let cfg = base_config(&flags)?;
+    let result = Simulation::run(cfg).map_err(|e| e.to_string())?;
+    println!("{}", report::interval_table(&result));
+    println!(
+        "radio accuracy {:.2}% | computing accuracy {:.2}% | saving {:.1}% | waste {:.2}%",
+        100.0 * result.mean_radio_accuracy(),
+        100.0 * result.mean_computing_accuracy(),
+        100.0 * result.mean_multicast_saving(),
+        100.0 * result.waste_fraction(),
+    );
+    if let Some(path) = flags.value("--csv") {
+        std::fs::write(path, report::to_csv(&result)).map_err(|e| e.to_string())?;
+        println!("wrote {path}");
+    }
+    Ok(())
+}
+
+fn cmd_swiping(args: &[String]) -> Result<(), String> {
+    let flags = Flags::new(args)?;
+    let cfg = base_config(&flags)?;
+    let intervals = cfg.n_intervals;
+    let mut sim = Simulation::new(cfg).map_err(|e| e.to_string())?;
+    sim.warm_up().map_err(|e| e.to_string())?;
+    for i in 0..intervals {
+        sim.run_interval(i).map_err(|e| e.to_string())?;
+    }
+    let outcome = sim.last_outcome().ok_or("no intervals ran")?;
+    for (g, swiping) in outcome.swiping.iter().enumerate() {
+        let members = outcome.groups.get(g).map(|p| p.members.len()).unwrap_or(0);
+        println!("group {g} ({members} members): retention ranking");
+        for (cat, mean) in swiping.ranked_categories().into_iter().take(3) {
+            println!("  {:<10} {mean:>6.2} s", cat.name());
+        }
+    }
+    let cats = [
+        VideoCategory::News,
+        VideoCategory::Music,
+        VideoCategory::Game,
+    ];
+    println!("\ncumulative swiping probability, group 0:");
+    print!("{:>7}", "t(s)");
+    for c in cats {
+        print!("{:>9}", c.name());
+    }
+    println!();
+    for t in [2.0, 5.0, 10.0, 20.0, 40.0] {
+        print!("{t:>7.0}");
+        for c in cats {
+            print!("{:>9.3}", outcome.swiping[0].cumulative_probability(c, t));
+        }
+        println!();
+    }
+    Ok(())
+}
+
+fn cmd_reserve(args: &[String]) -> Result<(), String> {
+    let flags = Flags::new(args)?;
+    let headroom = flags.parse("--headroom", 0.10f64)?;
+    let mut cfg = base_config(&flags)?;
+    cfg.reservation = Some(ReservationPolicy {
+        headroom,
+        ..Default::default()
+    });
+    cfg.validate().map_err(|e| e.to_string())?;
+    let result = Simulation::run(cfg).map_err(|e| e.to_string())?;
+    let coverage = result.reservation_coverage().unwrap_or(0.0);
+    let idle = result.reservation_idle().unwrap_or(0.0);
+    println!(
+        "headroom {:.0}%: covered {:.0}% of intervals, {:.1}% of reserved radio idle",
+        100.0 * headroom,
+        100.0 * coverage,
+        100.0 * idle
+    );
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn flags_parse_values_and_booleans() {
+        let raw = args(&["--users", "80", "--per-bs", "--seed", "9"]);
+        let flags = Flags::new(&raw).unwrap();
+        assert_eq!(flags.parse("--users", 0usize).unwrap(), 80);
+        assert_eq!(flags.parse("--seed", 0u64).unwrap(), 9);
+        assert_eq!(flags.parse("--intervals", 12usize).unwrap(), 12, "default");
+        assert!(flags.has("--per-bs"));
+        assert!(!flags.has("--csv"));
+    }
+
+    #[test]
+    fn flags_reject_garbage_values() {
+        let raw = args(&["--users", "eighty"]);
+        let flags = Flags::new(&raw).unwrap();
+        assert!(flags.parse("--users", 0usize).is_err());
+    }
+
+    #[test]
+    fn base_config_maps_predictors() {
+        for (name, expect_naive) in [("scheme", false), ("naive", true)] {
+            let raw = args(&["--predictor", name, "--users", "40"]);
+            let cfg = base_config(&Flags::new(&raw).unwrap()).unwrap();
+            assert_eq!(cfg.n_users, 40);
+            assert_eq!(
+                cfg.predictor == DemandPredictorKind::NaiveFullWatch,
+                expect_naive
+            );
+        }
+        let raw = args(&["--predictor", "ewma"]);
+        let cfg = base_config(&Flags::new(&raw).unwrap()).unwrap();
+        assert!(matches!(
+            cfg.predictor,
+            DemandPredictorKind::HistoricalMean { .. }
+        ));
+        let raw = args(&["--predictor", "psychic"]);
+        assert!(base_config(&Flags::new(&raw).unwrap()).is_err());
+    }
+
+    #[test]
+    fn base_config_validates() {
+        // One user cannot satisfy k_min.
+        let raw = args(&["--users", "1"]);
+        assert!(base_config(&Flags::new(&raw).unwrap()).is_err());
+    }
+}
