@@ -136,6 +136,7 @@ pub struct GroupingEngine {
     prev_k: Option<usize>,
     prev_reward: f64,
     calls: u64,
+    telemetry: Option<msvs_telemetry::Telemetry>,
 }
 
 impl std::fmt::Debug for GroupingEngine {
@@ -178,7 +179,16 @@ impl GroupingEngine {
             prev_k: None,
             prev_reward: 0.0,
             calls: 0,
+            telemetry: None,
         })
+    }
+
+    /// Wires the engine (and its DDQN agent) into an observability
+    /// pipeline: `K` selection and clustering are timed, and each
+    /// construction emits a [`msvs_telemetry::Event::GroupsFormed`] event.
+    pub fn attach_telemetry(&mut self, telemetry: msvs_telemetry::Telemetry) {
+        self.agent.attach_telemetry(telemetry.clone());
+        self.telemetry = Some(telemetry);
     }
 
     /// The configuration in use.
@@ -265,7 +275,12 @@ impl GroupingEngine {
         let grouping = match self.config.strategy {
             GroupingStrategy::Ddqn => {
                 let state = self.state_of(features);
+                let select_timer = self
+                    .telemetry
+                    .as_ref()
+                    .map(|t| t.stage_timer(msvs_telemetry::stage::DDQN_SELECT_K));
                 let action = self.agent.act(&state);
+                drop(select_timer);
                 let k = (self.config.k_min + action).min(k_cap);
                 let g = self.cluster(features, k)?;
                 self.agent.observe(Transition {
@@ -311,6 +326,13 @@ impl GroupingEngine {
         };
         self.prev_k = Some(grouping.k);
         self.prev_reward = grouping.reward;
+        if let Some(t) = &self.telemetry {
+            t.emit(msvs_telemetry::Event::GroupsFormed {
+                k: grouping.k as u64,
+                silhouette: grouping.silhouette,
+                reward: grouping.reward,
+            });
+        }
         Ok(grouping)
     }
 
@@ -339,6 +361,10 @@ impl GroupingEngine {
     }
 
     fn cluster(&self, features: &[Vec<f64>], k: usize) -> Result<Grouping> {
+        let _timer = self
+            .telemetry
+            .as_ref()
+            .map(|t| t.stage_timer(msvs_telemetry::stage::KMEANS_FIT));
         let fit = KMeans::new(KMeansConfig {
             k,
             seed: self.config.seed ^ 0x5EED,

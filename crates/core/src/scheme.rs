@@ -158,6 +158,7 @@ pub struct DtAssistedPredictor {
     engine: GroupingEngine,
     compressor_trained: bool,
     intervals_predicted: u64,
+    telemetry: Option<msvs_telemetry::Telemetry>,
 }
 
 impl DtAssistedPredictor {
@@ -175,7 +176,21 @@ impl DtAssistedPredictor {
             engine,
             compressor_trained: false,
             intervals_predicted: 0,
+            telemetry: None,
         })
+    }
+
+    /// Wires the predictor (and its grouping engine + DDQN agent) into an
+    /// observability pipeline: every pipeline stage is timed into
+    /// `stage_ms` histograms and structured events flow into the journal.
+    pub fn attach_telemetry(&mut self, telemetry: msvs_telemetry::Telemetry) {
+        self.engine.attach_telemetry(telemetry.clone());
+        self.telemetry = Some(telemetry);
+    }
+
+    /// Starts a stage timer when telemetry is attached.
+    fn stage_timer(&self, stage: &'static str) -> Option<msvs_telemetry::ScopedTimer> {
+        self.telemetry.as_ref().map(|t| t.stage_timer(stage))
     }
 
     /// The configuration in use.
@@ -224,10 +239,13 @@ impl DtAssistedPredictor {
             })
             .collect();
         if !self.compressor_trained {
+            let _train_timer = self.stage_timer(msvs_telemetry::stage::CNN_TRAIN);
             self.compressor.train(&windows)?;
             self.compressor_trained = true;
         }
+        let forward_timer = self.stage_timer(msvs_telemetry::stage::CNN_FORWARD);
         let features = self.compressor.encode(&windows)?;
+        drop(forward_timer);
         self.engine.pretrain(&[features], rounds)
     }
 
@@ -296,10 +314,13 @@ impl DtAssistedPredictor {
             })
             .collect();
         if !self.compressor_trained {
+            let _train_timer = self.stage_timer(msvs_telemetry::stage::CNN_TRAIN);
             self.compressor.train(&windows)?;
             self.compressor_trained = true;
         }
+        let forward_timer = self.stage_timer(msvs_telemetry::stage::CNN_FORWARD);
         let features = self.compressor.encode(&windows)?;
+        drop(forward_timer);
         let grouping = self.engine.construct(&features)?;
 
         let mut swiping = Vec::with_capacity(grouping.k);
@@ -318,6 +339,7 @@ impl DtAssistedPredictor {
             let member_twins: Vec<&UserDigitalTwin> =
                 member_idx.iter().map(|&i| &twins[i]).collect();
             // Swiping abstraction from all members' watch histories.
+            let swiping_timer = self.stage_timer(msvs_telemetry::stage::SWIPING_ABSTRACTION);
             let mut abstraction = SwipingAbstraction::new();
             for t in &member_twins {
                 abstraction.ingest(t.watch_series().iter().map(|(_, r)| r));
@@ -327,6 +349,7 @@ impl DtAssistedPredictor {
             let group_pref = aggregate_preference(&prefs);
             let recommendation =
                 recommend_for_group(catalog, &group_pref, &self.config.recommender)?;
+            drop(swiping_timer);
             // Member channel states and BS attachment (from twin data).
             let members: Vec<crate::demand::MemberState> = member_twins
                 .iter()
@@ -346,6 +369,7 @@ impl DtAssistedPredictor {
                     }
                 })
                 .collect();
+            let demand_timer = self.stage_timer(msvs_telemetry::stage::DEMAND_PREDICT);
             let prediction = predict_group_demand(
                 GroupId(gid as u32),
                 &members,
@@ -357,9 +381,20 @@ impl DtAssistedPredictor {
                 link,
                 &self.config.demand,
             )?;
+            drop(demand_timer);
             swiping.push(abstraction);
             recommendations.push(recommendation);
             groups.push(prediction);
+        }
+
+        if let Some(t) = &self.telemetry {
+            let total_rb: f64 = groups.iter().map(|g| g.radio.value()).sum();
+            let traffic_mb: f64 = groups.iter().map(|g| g.expected_traffic_mb).sum();
+            t.emit(msvs_telemetry::Event::DemandPredicted {
+                groups: groups.len() as u64,
+                total_rb,
+                traffic_mb,
+            });
         }
 
         Ok(PredictionOutcome {

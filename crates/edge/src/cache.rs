@@ -29,6 +29,9 @@ pub struct VideoCache {
     tick: u64,
     hits: u64,
     misses: u64,
+    /// Entries evicted since the last [`take_evicted`](Self::take_evicted)
+    /// drain, in eviction order.
+    evicted: Vec<(VideoId, RepresentationLevel)>,
 }
 
 impl VideoCache {
@@ -48,7 +51,13 @@ impl VideoCache {
             tick: 0,
             hits: 0,
             misses: 0,
+            evicted: Vec::new(),
         }
+    }
+
+    /// Drains the entries evicted since the last call, oldest first.
+    pub fn take_evicted(&mut self) -> Vec<(VideoId, RepresentationLevel)> {
+        std::mem::take(&mut self.evicted)
     }
 
     /// Pre-warms the cache with the most popular catalog videos at the top
@@ -184,6 +193,7 @@ impl VideoCache {
             Some(key) => {
                 if let Some((size, _)) = self.entries.remove(&key) {
                     self.used_mb -= size;
+                    self.evicted.push(key);
                 }
                 true
             }
@@ -243,7 +253,12 @@ mod tests {
         assert!(cache.insert(&videos[1], videos[1].top_level()));
         // Touch 0 so 1 becomes LRU.
         assert!(cache.lookup(videos[0].id, videos[0].top_level()));
-        assert!(cache.insert(&videos[2], videos[2].top_level()));
+        // Pick a third video that needs an eviction (> slack) but fits once
+        // the single LRU victim is gone, so only video 1 must be evicted.
+        let j = (2..videos.len())
+            .find(|&i| sz(i) > 1.0 && sz(i) <= sz(1))
+            .expect("catalog holds a video no larger than video 1");
+        assert!(cache.insert(&videos[j], videos[j].top_level()));
         assert!(
             cache.lookup(videos[0].id, videos[0].top_level()),
             "hot kept"
@@ -298,5 +313,25 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_capacity_panics() {
         let _ = VideoCache::new(0.0);
+    }
+
+    #[test]
+    fn take_evicted_drains_victims_once() {
+        let c = catalog();
+        let videos = c.videos();
+        let sz = |i: usize| entry_size_mb(&videos[i], videos[i].top_level());
+        let cap = sz(0) + sz(1) + 1.0;
+        let mut cache = VideoCache::new(cap);
+        assert!(cache.insert(&videos[0], videos[0].top_level()));
+        assert!(cache.insert(&videos[1], videos[1].top_level()));
+        assert!(cache.take_evicted().is_empty(), "no eviction yet");
+        cache.lookup(videos[0].id, videos[0].top_level());
+        let j = (2..videos.len())
+            .find(|&i| sz(i) > 1.0 && sz(i) <= sz(1))
+            .expect("catalog holds a video no larger than video 1");
+        assert!(cache.insert(&videos[j], videos[j].top_level()));
+        let evicted = cache.take_evicted();
+        assert_eq!(evicted, vec![(videos[1].id, videos[1].top_level())]);
+        assert!(cache.take_evicted().is_empty(), "drain is one-shot");
     }
 }

@@ -58,6 +58,7 @@ pub struct EdgeServer {
     total_cycles: CpuCycles,
     total_backhaul_mb: f64,
     serves: u64,
+    telemetry: Option<msvs_telemetry::Telemetry>,
 }
 
 impl EdgeServer {
@@ -71,6 +72,31 @@ impl EdgeServer {
             total_cycles: CpuCycles::ZERO,
             total_backhaul_mb: 0.0,
             serves: 0,
+            telemetry: None,
+        }
+    }
+
+    /// Wires observability in: serve-kind counters, transcode stage
+    /// latencies, and `CacheEvicted` journal events.
+    pub fn attach_telemetry(&mut self, telemetry: msvs_telemetry::Telemetry) {
+        self.telemetry = Some(telemetry);
+    }
+
+    /// Counts one served request by kind and reports evictions the cache
+    /// performed while satisfying it.
+    fn note_serve(&mut self, kind: ServeKind) {
+        let Some(t) = &self.telemetry else { return };
+        let label = match kind {
+            ServeKind::CacheHit => "cache_hit",
+            ServeKind::Transcoded => "transcoded",
+            ServeKind::RemoteFetch => "remote_fetch",
+        };
+        t.counter("edge_serves_total", label).inc();
+        for (video, level) in self.cache.take_evicted() {
+            t.emit(msvs_telemetry::Event::CacheEvicted {
+                video: video.0 as u64,
+                level: level.to_string(),
+            });
         }
     }
 
@@ -126,6 +152,7 @@ impl EdgeServer {
         let duration = duration.min(video.duration);
         self.serves += 1;
         if self.cache.lookup(video.id, level) {
+            self.note_serve(ServeKind::CacheHit);
             return ServeOutcome {
                 kind: ServeKind::CacheHit,
                 cycles: CpuCycles::ZERO,
@@ -133,9 +160,15 @@ impl EdgeServer {
             };
         }
         if let Some(higher) = self.cache.best_at_or_above(video.id, level) {
+            let timer = self
+                .telemetry
+                .as_ref()
+                .map(|t| t.stage_timer(msvs_telemetry::stage::TRANSCODE));
             let cycles = self.model.cost(higher, level, duration);
+            drop(timer);
             self.total_cycles += cycles;
             self.cache.insert(video, level);
+            self.note_serve(ServeKind::Transcoded);
             return ServeOutcome {
                 kind: ServeKind::Transcoded,
                 cycles,
@@ -152,13 +185,19 @@ impl EdgeServer {
         self.total_backhaul_mb += backhaul_mb;
         self.cache.insert(video, top);
         let cycles = if top > level {
+            let timer = self
+                .telemetry
+                .as_ref()
+                .map(|t| t.stage_timer(msvs_telemetry::stage::TRANSCODE));
             let c = self.model.cost(top, level, duration);
+            drop(timer);
             self.cache.insert(video, level);
             c
         } else {
             CpuCycles::ZERO
         };
         self.total_cycles += cycles;
+        self.note_serve(ServeKind::RemoteFetch);
         ServeOutcome {
             kind: ServeKind::RemoteFetch,
             cycles,

@@ -157,6 +157,7 @@ pub struct DdqnAgent {
     steps: u64,
     train_steps: u64,
     last_loss: Option<f32>,
+    telemetry: Option<msvs_telemetry::Telemetry>,
 }
 
 impl std::fmt::Debug for DdqnAgent {
@@ -215,8 +216,16 @@ impl DdqnAgent {
             steps: 0,
             train_steps: 0,
             last_loss: None,
+            telemetry: None,
             config,
         })
+    }
+
+    /// Wires the agent into an observability pipeline: training steps are
+    /// timed into the `ddqn_train` stage histogram and reported as
+    /// [`msvs_telemetry::Event::TrainingStepped`] journal events.
+    pub fn attach_telemetry(&mut self, telemetry: msvs_telemetry::Telemetry) {
+        self.telemetry = Some(telemetry);
     }
 
     /// The agent's configuration.
@@ -290,8 +299,19 @@ impl DdqnAgent {
         if self.replay.len() < self.config.min_replay {
             return None;
         }
+        let timer = self
+            .telemetry
+            .as_ref()
+            .map(|t| t.stage_timer(msvs_telemetry::stage::DDQN_TRAIN));
         let loss = self.train_minibatch();
+        drop(timer);
         self.last_loss = Some(loss);
+        if let Some(t) = &self.telemetry {
+            t.emit(msvs_telemetry::Event::TrainingStepped {
+                loss: loss as f64,
+                epsilon: self.epsilon(),
+            });
+        }
         Some(loss)
     }
 

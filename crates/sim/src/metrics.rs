@@ -57,6 +57,9 @@ pub struct IntervalRecord {
 pub struct SimulationReport {
     /// One record per scored interval.
     pub intervals: Vec<IntervalRecord>,
+    /// Stage-latency percentiles and event counters collected by
+    /// `msvs-telemetry` over the whole run (warm-up included).
+    pub telemetry: msvs_telemetry::TelemetrySummary,
 }
 
 impl SimulationReport {
@@ -211,6 +214,7 @@ mod tests {
     fn aggregates_are_means() {
         let report = SimulationReport {
             intervals: vec![record(0, 95.0, 100.0), record(1, 105.0, 100.0)],
+            ..Default::default()
         };
         assert!((report.mean_radio_accuracy() - 0.95).abs() < 1e-12);
         assert_eq!(report.mean_computing_accuracy(), 1.0);

@@ -160,6 +160,7 @@ mod tests {
                 updates_sent: 1234,
                 reservation: None,
             }],
+            ..Default::default()
         }
     }
 

@@ -1,12 +1,11 @@
 //! The simulation loop.
 
-use std::time::Instant;
-
 use msvs_channel::Link;
 use msvs_core::demand::prediction_accuracy;
 use msvs_core::{DtAssistedPredictor, HistoricalMeanPredictor, PredictionOutcome};
 use msvs_edge::EdgeServer;
 use msvs_mobility::{CampusMap, MobilityModel, RandomWaypoint};
+use msvs_telemetry::{stage, Event, Telemetry};
 use msvs_types::{CpuCycles, Position, ResourceBlocks, Result, SimDuration, SimTime, UserId};
 use msvs_udt::{SyncTracker, UdtStore, UserDigitalTwin, WatchRecord};
 use msvs_video::{Catalog, UserProfile};
@@ -95,6 +94,7 @@ pub struct Simulation {
     prev_assignments: Option<std::collections::HashMap<UserId, usize>>,
     prev_bs: std::collections::HashMap<UserId, usize>,
     last_outcome: Option<PredictionOutcome>,
+    telemetry: Telemetry,
 }
 
 impl std::fmt::Debug for Simulation {
@@ -127,7 +127,7 @@ impl Simulation {
         config.scheme.map_width = map.width();
         config.scheme.map_height = map.height();
         let catalog = Catalog::generate(config.catalog)?;
-        let edge = EdgeServer::new(config.edge, &catalog);
+        let mut edge = EdgeServer::new(config.edge, &catalog);
         let link = Link::new(config.link);
         let store = UdtStore::new();
         let mut users = Vec::with_capacity(config.n_users);
@@ -151,11 +151,18 @@ impl Simulation {
                 interval_snrs: Vec::new(),
             });
         }
-        let predictor = DtAssistedPredictor::new(config.scheme.clone())?;
+        let mut predictor = DtAssistedPredictor::new(config.scheme.clone())?;
         let historical = HistoricalMeanPredictor::new(match config.predictor {
             DemandPredictorKind::HistoricalMean { alpha } => alpha,
             _ => 0.3,
         })?;
+        let telemetry = Telemetry::new();
+        predictor.attach_telemetry(telemetry.clone());
+        edge.attach_telemetry(telemetry.clone());
+        telemetry.emit(Event::RunStarted {
+            scheme: predictor_label(config.predictor).to_string(),
+            seed: config.seed,
+        });
         let churn_rng = StdRng::seed_from_u64(config.seed ^ 0xC0FF_EE00);
         Ok(Self {
             config,
@@ -176,6 +183,7 @@ impl Simulation {
             prev_assignments: None,
             prev_bs: std::collections::HashMap::new(),
             last_outcome: None,
+            telemetry,
         })
     }
 
@@ -204,6 +212,12 @@ impl Simulation {
         self.last_outcome.as_ref()
     }
 
+    /// The telemetry handle shared by every subsystem: stage-latency
+    /// histograms, counters, and the event journal.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
     /// Runs warm-up plus all scored intervals, returning the report.
     ///
     /// # Errors
@@ -215,6 +229,7 @@ impl Simulation {
         for i in 0..sim.config.n_intervals {
             report.intervals.push(sim.run_interval(i)?);
         }
+        report.telemetry = sim.telemetry.summary();
         Ok(report)
     }
 
@@ -244,6 +259,10 @@ impl Simulation {
     /// # Errors
     /// Propagates pipeline errors.
     pub fn run_interval(&mut self, index: usize) -> Result<IntervalRecord> {
+        self.telemetry.set_now_ms(self.now.as_millis());
+        self.telemetry.emit(Event::IntervalStarted {
+            interval: index as u64,
+        });
         self.apply_churn();
         self.collect_phase();
         self.scored_interval(index)
@@ -292,7 +311,7 @@ impl Simulation {
     /// Collection phase: advance mobility tick by tick across the
     /// interval, sampling ground-truth SNR and pushing due attributes into
     /// the twins (per the collection policy). Mobility advancement is
-    /// fanned out across threads with crossbeam.
+    /// fanned out across scoped threads.
     fn collect_phase(&mut self) {
         let interval = self.config.interval;
         let tick = self.config.tick;
@@ -306,11 +325,12 @@ impl Simulation {
         let store = &self.store;
         let start = self.now;
         // Parallel per-user simulation of the whole interval's collection.
+        let ingest_timer = self.telemetry.stage_timer(stage::UDT_INGEST);
         let n_threads = 4usize;
         let chunk = self.users.len().div_ceil(n_threads).max(1);
-        crossbeam::scope(|scope| {
+        std::thread::scope(|scope| {
             for users in self.users.chunks_mut(chunk) {
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     for user in users {
                         let mut t = start;
                         for _ in 0..steps {
@@ -343,15 +363,22 @@ impl Simulation {
                     }
                 });
             }
-        })
-        .expect("collection threads do not panic");
+        });
+        drop(ingest_timer);
         self.now = start + tick * steps;
+        self.telemetry.set_now_ms(self.now.as_millis());
+        self.telemetry.emit(Event::CollectionCompleted {
+            interval: self.intervals_run as u64,
+            users: self.users.len() as u64,
+        });
     }
 
     /// Prediction + playback + scoring for the interval that just had its
     /// status collected. `index == usize::MAX` marks a warm-up pass.
     fn scored_interval(&mut self, index: usize) -> Result<IntervalRecord> {
-        let t0 = Instant::now();
+        let scored = index != usize::MAX;
+        let interval_timer = self.telemetry.stage_timer(stage::INTERVAL);
+        let predict_timer = self.telemetry.stage_timer(stage::SCHEME_PREDICT);
         let outcome = self.predictor.predict(
             &self.store,
             &self.catalog,
@@ -359,7 +386,7 @@ impl Simulation {
             &TRANSCODE,
             &self.link,
         )?;
-        let predict_wall_ms = t0.elapsed().as_secs_f64() * 1000.0;
+        let predict_wall_ms = predict_timer.stop();
 
         // Predicted totals according to the configured predictor kind.
         let (predicted_radio, predicted_computing) = match self.config.predictor {
@@ -412,15 +439,27 @@ impl Simulation {
             None => None,
         };
 
+        let playback_timer = self.telemetry.stage_timer(stage::PLAYBACK);
         let actual = self.playback_phase(&outcome);
+        let playback_wall_ms = playback_timer.stop();
         self.historical
             .observe(ResourceBlocks(actual.radio), CpuCycles(actual.computing));
         let reservation = reservation_plan.map(|plan| {
-            msvs_core::score_reservation(
+            let reserved_rb = plan.total_radio().value();
+            let scoring = msvs_core::score_reservation(
                 &plan,
                 ResourceBlocks(actual.radio),
                 CpuCycles(actual.computing),
-            )
+            );
+            if scored {
+                self.telemetry.emit(Event::ReservationScored {
+                    predicted_rb: reserved_rb,
+                    used_rb: actual.radio,
+                    over_rb: (reserved_rb - actual.radio).max(0.0),
+                    under_rb: scoring.radio_shortfall.value(),
+                });
+            }
+            scoring
         });
 
         // Handovers: users whose nearest BS changed since last interval.
@@ -504,6 +543,22 @@ impl Simulation {
             mean_level,
             reservation,
         };
+        if scored {
+            self.telemetry.emit(Event::StageCompleted {
+                stage: stage::SCHEME_PREDICT.to_string(),
+                wall_ms: predict_wall_ms,
+            });
+            self.telemetry.emit(Event::StageCompleted {
+                stage: stage::PLAYBACK.to_string(),
+                wall_ms: playback_wall_ms,
+            });
+            self.telemetry.emit(Event::IntervalCompleted {
+                interval: index as u64,
+                qoe: record.mean_level,
+                hit_ratio: self.edge.cache().hit_ratio(),
+            });
+        }
+        drop(interval_timer);
         self.last_outcome = Some(outcome);
         self.intervals_run += 1;
         Ok(record)
@@ -659,6 +714,15 @@ impl Simulation {
     }
 }
 
+/// Human-readable name of the scored predictor (run manifests, journals).
+fn predictor_label(kind: DemandPredictorKind) -> &'static str {
+    match kind {
+        DemandPredictorKind::Scheme => "dt-assisted",
+        DemandPredictorKind::NaiveFullWatch => "naive-full-watch",
+        DemandPredictorKind::HistoricalMean { .. } => "historical-mean",
+    }
+}
+
 /// Average actual bitrate of `video` at `level`, Mbps.
 fn video_bitrate(video: &msvs_video::Video, level: msvs_types::RepresentationLevel) -> f64 {
     video
@@ -752,6 +816,43 @@ mod tests {
             assert!(r.predict_wall_ms > 0.0);
             assert!(r.updates_sent > 0);
         }
+        // Telemetry rides along: stage percentiles and event counters.
+        let stages: Vec<&str> = report
+            .telemetry
+            .stages
+            .iter()
+            .map(|s| s.stage.as_str())
+            .collect();
+        for expected in [
+            stage::SCHEME_PREDICT,
+            stage::PLAYBACK,
+            stage::INTERVAL,
+            stage::UDT_INGEST,
+            stage::CNN_FORWARD,
+            stage::KMEANS_FIT,
+            stage::DEMAND_PREDICT,
+        ] {
+            assert!(stages.contains(&expected), "missing stage {expected}");
+        }
+        let scheme_predict = report
+            .telemetry
+            .stages
+            .iter()
+            .find(|s| s.stage == stage::SCHEME_PREDICT)
+            .unwrap();
+        // Warm-up (1) + scored (2) prediction passes.
+        assert_eq!(scheme_predict.count, 3);
+        assert!(scheme_predict.max_ms >= scheme_predict.p50_ms);
+        let counter = |name: &str, label: &str| {
+            report
+                .telemetry
+                .counters
+                .iter()
+                .find(|(n, l, _)| n == name && l == label)
+                .map(|(_, _, v)| *v)
+        };
+        assert_eq!(counter("events_total", "IntervalCompleted"), Some(2));
+        assert!(counter("edge_serves_total", "cache_hit").unwrap_or(0) > 0);
     }
 
     #[test]
@@ -774,6 +875,9 @@ mod tests {
             for i in &mut r.intervals {
                 i.predict_wall_ms = 0.0;
             }
+            // Stage latencies are wall-clock; counts and counters must
+            // still match exactly between identically seeded runs.
+            r.telemetry = r.telemetry.with_zeroed_timings();
             r
         };
         let a = strip_wall(Simulation::run(small_config(9)).unwrap());

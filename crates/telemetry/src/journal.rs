@@ -1,0 +1,471 @@
+//! Structured, in-memory event journal with JSONL/CSV export.
+//!
+//! Events are typed (not free-form strings) so tests can assert on the
+//! exact sequence a simulation emits, and timestamps are **simulation
+//! time** so journals are deterministic for a fixed seed.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::{Arc, Mutex};
+
+use crate::json::Json;
+
+/// One structured telemetry event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// A simulation run began.
+    RunStarted { scheme: String, seed: u64 },
+    /// A scored interval began.
+    IntervalStarted { interval: u64 },
+    /// The UDT collection sweep for an interval finished.
+    CollectionCompleted { interval: u64, users: u64 },
+    /// A named pipeline stage finished (`wall_ms` of host time).
+    StageCompleted { stage: String, wall_ms: f64 },
+    /// The grouping engine produced multicast groups.
+    GroupsFormed {
+        k: u64,
+        silhouette: f64,
+        reward: f64,
+    },
+    /// The scheme predicted aggregate resource demand.
+    DemandPredicted {
+        groups: u64,
+        total_rb: f64,
+        traffic_mb: f64,
+    },
+    /// A reservation was scored against realised demand.
+    ReservationScored {
+        predicted_rb: f64,
+        used_rb: f64,
+        over_rb: f64,
+        under_rb: f64,
+    },
+    /// The edge cache evicted an entry under pressure.
+    CacheEvicted { video: u64, level: String },
+    /// The DDQN agent completed a training step.
+    TrainingStepped { loss: f64, epsilon: f64 },
+    /// A scored interval finished.
+    IntervalCompleted {
+        interval: u64,
+        qoe: f64,
+        hit_ratio: f64,
+    },
+}
+
+impl Event {
+    /// Stable event name used as the JSONL/CSV discriminant.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Event::RunStarted { .. } => "RunStarted",
+            Event::IntervalStarted { .. } => "IntervalStarted",
+            Event::CollectionCompleted { .. } => "CollectionCompleted",
+            Event::StageCompleted { .. } => "StageCompleted",
+            Event::GroupsFormed { .. } => "GroupsFormed",
+            Event::DemandPredicted { .. } => "DemandPredicted",
+            Event::ReservationScored { .. } => "ReservationScored",
+            Event::CacheEvicted { .. } => "CacheEvicted",
+            Event::TrainingStepped { .. } => "TrainingStepped",
+            Event::IntervalCompleted { .. } => "IntervalCompleted",
+        }
+    }
+
+    fn fields(&self) -> Vec<(&'static str, Json)> {
+        match self {
+            Event::RunStarted { scheme, seed } => vec![
+                ("scheme", Json::Str(scheme.clone())),
+                ("seed", Json::Num(*seed as f64)),
+            ],
+            Event::IntervalStarted { interval } => {
+                vec![("interval", Json::Num(*interval as f64))]
+            }
+            Event::CollectionCompleted { interval, users } => vec![
+                ("interval", Json::Num(*interval as f64)),
+                ("users", Json::Num(*users as f64)),
+            ],
+            Event::StageCompleted { stage, wall_ms } => vec![
+                ("stage", Json::Str(stage.clone())),
+                ("wall_ms", Json::Num(*wall_ms)),
+            ],
+            Event::GroupsFormed {
+                k,
+                silhouette,
+                reward,
+            } => vec![
+                ("k", Json::Num(*k as f64)),
+                ("silhouette", Json::Num(*silhouette)),
+                ("reward", Json::Num(*reward)),
+            ],
+            Event::DemandPredicted {
+                groups,
+                total_rb,
+                traffic_mb,
+            } => vec![
+                ("groups", Json::Num(*groups as f64)),
+                ("total_rb", Json::Num(*total_rb)),
+                ("traffic_mb", Json::Num(*traffic_mb)),
+            ],
+            Event::ReservationScored {
+                predicted_rb,
+                used_rb,
+                over_rb,
+                under_rb,
+            } => vec![
+                ("predicted_rb", Json::Num(*predicted_rb)),
+                ("used_rb", Json::Num(*used_rb)),
+                ("over_rb", Json::Num(*over_rb)),
+                ("under_rb", Json::Num(*under_rb)),
+            ],
+            Event::CacheEvicted { video, level } => vec![
+                ("video", Json::Num(*video as f64)),
+                ("level", Json::Str(level.clone())),
+            ],
+            Event::TrainingStepped { loss, epsilon } => {
+                vec![("loss", Json::Num(*loss)), ("epsilon", Json::Num(*epsilon))]
+            }
+            Event::IntervalCompleted {
+                interval,
+                qoe,
+                hit_ratio,
+            } => vec![
+                ("interval", Json::Num(*interval as f64)),
+                ("qoe", Json::Num(*qoe)),
+                ("hit_ratio", Json::Num(*hit_ratio)),
+            ],
+        }
+    }
+
+    fn from_json(name: &str, obj: &Json) -> Result<Event, String> {
+        let num = |k: &str| {
+            obj.get(k)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("{name}: missing numeric field '{k}'"))
+        };
+        let int = |k: &str| num(k).map(|v| v as u64);
+        let text = |k: &str| {
+            obj.get(k)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("{name}: missing string field '{k}'"))
+        };
+        Ok(match name {
+            "RunStarted" => Event::RunStarted {
+                scheme: text("scheme")?,
+                seed: int("seed")?,
+            },
+            "IntervalStarted" => Event::IntervalStarted {
+                interval: int("interval")?,
+            },
+            "CollectionCompleted" => Event::CollectionCompleted {
+                interval: int("interval")?,
+                users: int("users")?,
+            },
+            "StageCompleted" => Event::StageCompleted {
+                stage: text("stage")?,
+                wall_ms: num("wall_ms")?,
+            },
+            "GroupsFormed" => Event::GroupsFormed {
+                k: int("k")?,
+                silhouette: num("silhouette")?,
+                reward: num("reward")?,
+            },
+            "DemandPredicted" => Event::DemandPredicted {
+                groups: int("groups")?,
+                total_rb: num("total_rb")?,
+                traffic_mb: num("traffic_mb")?,
+            },
+            "ReservationScored" => Event::ReservationScored {
+                predicted_rb: num("predicted_rb")?,
+                used_rb: num("used_rb")?,
+                over_rb: num("over_rb")?,
+                under_rb: num("under_rb")?,
+            },
+            "CacheEvicted" => Event::CacheEvicted {
+                video: int("video")?,
+                level: text("level")?,
+            },
+            "TrainingStepped" => Event::TrainingStepped {
+                loss: num("loss")?,
+                epsilon: num("epsilon")?,
+            },
+            "IntervalCompleted" => Event::IntervalCompleted {
+                interval: int("interval")?,
+                qoe: num("qoe")?,
+                hit_ratio: num("hit_ratio")?,
+            },
+            other => return Err(format!("unknown event '{other}'")),
+        })
+    }
+}
+
+/// A journal entry: an [`Event`] stamped with simulation time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Entry {
+    /// Simulation time of the event, milliseconds.
+    pub t_ms: u64,
+    pub event: Event,
+}
+
+impl Entry {
+    /// One JSONL line for this entry.
+    pub fn to_json(&self) -> Json {
+        let mut map: BTreeMap<String, Json> = BTreeMap::new();
+        map.insert("t_ms".into(), Json::Num(self.t_ms as f64));
+        map.insert("event".into(), Json::Str(self.event.name().into()));
+        for (k, v) in self.event.fields() {
+            map.insert(k.into(), v);
+        }
+        Json::Obj(map)
+    }
+
+    /// Parses one JSONL line.
+    ///
+    /// # Errors
+    /// Returns a message naming the malformed or missing field.
+    pub fn parse(line: &str) -> Result<Entry, String> {
+        let obj = Json::parse(line)?;
+        let t_ms = obj
+            .get("t_ms")
+            .and_then(Json::as_u64)
+            .ok_or("missing 't_ms'")?;
+        let name = obj
+            .get("event")
+            .and_then(Json::as_str)
+            .ok_or("missing 'event'")?
+            .to_string();
+        Ok(Entry {
+            t_ms,
+            event: Event::from_json(&name, &obj)?,
+        })
+    }
+}
+
+/// Append-only, thread-safe journal of [`Entry`]s. Cloning shares the
+/// underlying buffer.
+#[derive(Debug, Clone, Default)]
+pub struct EventJournal {
+    entries: Arc<Mutex<Vec<Entry>>>,
+}
+
+impl EventJournal {
+    /// Builds an empty journal.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends `event` at simulation time `t_ms`.
+    pub fn record(&self, t_ms: u64, event: Event) {
+        self.entries
+            .lock()
+            .expect("journal lock poisoned")
+            .push(Entry { t_ms, event });
+    }
+
+    /// Number of recorded entries.
+    pub fn len(&self) -> usize {
+        self.entries.lock().expect("journal lock poisoned").len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot of every entry in record order.
+    pub fn entries(&self) -> Vec<Entry> {
+        self.entries.lock().expect("journal lock poisoned").clone()
+    }
+
+    /// Serialises the journal as JSONL (one entry per line).
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for e in self.entries() {
+            let _ = writeln!(out, "{}", e.to_json());
+        }
+        out
+    }
+
+    /// Serialises the journal as CSV with columns
+    /// `t_ms,event,fields` where `fields` packs `key=value` pairs.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("t_ms,event,fields\n");
+        for e in self.entries() {
+            let fields: Vec<String> = e
+                .event
+                .fields()
+                .iter()
+                .map(|(k, v)| match v {
+                    Json::Str(s) => format!("{k}={s}"),
+                    other => format!("{k}={other}"),
+                })
+                .collect();
+            let _ = writeln!(
+                out,
+                "{},{},\"{}\"",
+                e.t_ms,
+                e.event.name(),
+                fields.join(";").replace('"', "\"\"")
+            );
+        }
+        out
+    }
+
+    /// Parses a JSONL document produced by [`to_jsonl`](Self::to_jsonl)
+    /// into a fresh journal. Blank lines are skipped.
+    ///
+    /// # Errors
+    /// Returns the first malformed line's number and message.
+    pub fn parse_jsonl(text: &str) -> Result<EventJournal, String> {
+        let journal = EventJournal::new();
+        for (i, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let entry = Entry::parse(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+            journal.record(entry.t_ms, entry.event);
+        }
+        Ok(journal)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_entries() -> Vec<Entry> {
+        vec![
+            Entry {
+                t_ms: 0,
+                event: Event::RunStarted {
+                    scheme: "dt-assisted".into(),
+                    seed: 7,
+                },
+            },
+            Entry {
+                t_ms: 300_000,
+                event: Event::IntervalStarted { interval: 1 },
+            },
+            Entry {
+                t_ms: 300_000,
+                event: Event::GroupsFormed {
+                    k: 3,
+                    silhouette: 0.42,
+                    reward: -1.5,
+                },
+            },
+            Entry {
+                t_ms: 300_500,
+                event: Event::StageCompleted {
+                    stage: "kmeans_fit".into(),
+                    wall_ms: 1.25,
+                },
+            },
+            Entry {
+                t_ms: 301_000,
+                event: Event::CacheEvicted {
+                    video: 17,
+                    level: "P720".into(),
+                },
+            },
+            Entry {
+                t_ms: 600_000,
+                event: Event::IntervalCompleted {
+                    interval: 1,
+                    qoe: 0.91,
+                    hit_ratio: 0.75,
+                },
+            },
+        ]
+    }
+
+    #[test]
+    fn jsonl_round_trip_preserves_every_event() {
+        let journal = EventJournal::new();
+        for e in sample_entries() {
+            journal.record(e.t_ms, e.event);
+        }
+        let text = journal.to_jsonl();
+        let parsed = EventJournal::parse_jsonl(&text).unwrap();
+        assert_eq!(parsed.entries(), journal.entries());
+    }
+
+    #[test]
+    fn every_event_variant_round_trips() {
+        let variants = vec![
+            Event::RunStarted {
+                scheme: "s".into(),
+                seed: 1,
+            },
+            Event::IntervalStarted { interval: 2 },
+            Event::CollectionCompleted {
+                interval: 2,
+                users: 40,
+            },
+            Event::StageCompleted {
+                stage: "cnn_forward".into(),
+                wall_ms: 0.5,
+            },
+            Event::GroupsFormed {
+                k: 4,
+                silhouette: 0.1,
+                reward: 2.0,
+            },
+            Event::DemandPredicted {
+                groups: 4,
+                total_rb: 120.5,
+                traffic_mb: 88.0,
+            },
+            Event::ReservationScored {
+                predicted_rb: 100.0,
+                used_rb: 90.0,
+                over_rb: 10.0,
+                under_rb: 0.0,
+            },
+            Event::CacheEvicted {
+                video: 3,
+                level: "P1080".into(),
+            },
+            Event::TrainingStepped {
+                loss: 0.03,
+                epsilon: 0.2,
+            },
+            Event::IntervalCompleted {
+                interval: 2,
+                qoe: 0.8,
+                hit_ratio: 0.6,
+            },
+        ];
+        for event in variants {
+            let entry = Entry { t_ms: 42, event };
+            let parsed = Entry::parse(&entry.to_json().to_string()).unwrap();
+            assert_eq!(parsed, entry);
+        }
+    }
+
+    #[test]
+    fn parse_reports_line_numbers() {
+        let err = EventJournal::parse_jsonl("{\"t_ms\":1,\"event\":\"Nope\"}\n").unwrap_err();
+        assert!(err.contains("line 1"), "{err}");
+        assert!(err.contains("Nope"), "{err}");
+    }
+
+    #[test]
+    fn blank_lines_are_skipped() {
+        let journal = EventJournal::new();
+        journal.record(5, Event::IntervalStarted { interval: 9 });
+        let text = format!("\n{}\n\n", journal.to_jsonl());
+        assert_eq!(EventJournal::parse_jsonl(&text).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn csv_has_header_and_one_row_per_entry() {
+        let journal = EventJournal::new();
+        for e in sample_entries() {
+            journal.record(e.t_ms, e.event);
+        }
+        let csv = journal.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 1 + journal.len());
+        assert_eq!(lines[0], "t_ms,event,fields");
+        assert!(lines[3].contains("silhouette=0.42"));
+    }
+}

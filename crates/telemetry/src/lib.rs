@@ -1,0 +1,231 @@
+//! # msvs-telemetry
+//!
+//! Zero-dependency observability for the msvs workspace:
+//!
+//! - [`Registry`] — named counters, gauges, and log-bucketed histograms
+//!   backed by atomics; hot paths hold pre-resolved handles and pay one
+//!   relaxed atomic op per update.
+//! - [`ScopedTimer`] — RAII wall-clock timers recording stage latencies
+//!   (milliseconds) into histograms; canonical stage names in [`stage`].
+//! - [`EventJournal`] — typed [`Event`]s stamped with simulation time,
+//!   exportable as JSONL/CSV and parseable back for offline reporting.
+//! - [`RunManifest`] — config, seed, and git version of a run.
+//!
+//! The [`Telemetry`] handle bundles a registry and a journal and is cheap
+//! to clone into every subsystem; [`TelemetrySummary`] condenses the
+//! registry into the percentile table embedded in simulation reports.
+
+mod journal;
+mod json;
+mod manifest;
+mod registry;
+mod timer;
+
+pub use journal::{Entry, Event, EventJournal};
+pub use json::Json;
+pub use manifest::RunManifest;
+pub use registry::{Counter, Gauge, Histogram, HistogramStats, Registry};
+pub use timer::{stage, ScopedTimer};
+
+/// Metric family name for stage-latency histograms; the label is the
+/// stage name from [`stage`].
+pub const STAGE_MS: &str = "stage_ms";
+
+/// Shared handle bundling a metric [`Registry`], an [`EventJournal`], and
+/// the simulation clock events are stamped with.
+///
+/// Cloning is cheap (three `Arc` bumps); every subsystem holds its own
+/// clone and writes concurrently. The driver advances the clock with
+/// [`set_now_ms`](Self::set_now_ms); subsystems emit events against it via
+/// [`emit`](Self::emit), which keeps journals deterministic for a fixed
+/// seed (wall-clock never leaks into timestamps).
+#[derive(Debug, Clone, Default)]
+pub struct Telemetry {
+    registry: Registry,
+    journal: EventJournal,
+    now_ms: std::sync::Arc<std::sync::atomic::AtomicU64>,
+}
+
+impl Telemetry {
+    /// Builds a fresh registry + journal pair.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Advances the shared simulation clock (milliseconds).
+    pub fn set_now_ms(&self, t_ms: u64) {
+        self.now_ms
+            .store(t_ms, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// Current simulation clock, milliseconds.
+    pub fn now_ms(&self) -> u64 {
+        self.now_ms.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Records `event` at the current simulation clock, bumping the
+    /// `events_total{<name>}` counter.
+    pub fn emit(&self, event: Event) {
+        self.counter("events_total", event.name()).inc();
+        self.journal.record(self.now_ms(), event);
+    }
+
+    /// The metric registry.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// The event journal.
+    pub fn journal(&self) -> &EventJournal {
+        &self.journal
+    }
+
+    /// Starts a [`ScopedTimer`] recording into the `stage_ms{stage}`
+    /// histogram.
+    pub fn stage_timer(&self, stage: &'static str) -> ScopedTimer {
+        ScopedTimer::new(self.registry.histogram(STAGE_MS, stage))
+    }
+
+    /// Resolves the counter `name{label}`.
+    pub fn counter(&self, name: &'static str, label: impl Into<String>) -> Counter {
+        self.registry.counter(name, label)
+    }
+
+    /// Resolves the gauge `name{label}`.
+    pub fn gauge(&self, name: &'static str, label: impl Into<String>) -> Gauge {
+        self.registry.gauge(name, label)
+    }
+
+    /// Records `event` at simulation time `t_ms`.
+    pub fn event(&self, t_ms: u64, event: Event) {
+        self.journal.record(t_ms, event);
+    }
+
+    /// Condenses the registry into a [`TelemetrySummary`].
+    pub fn summary(&self) -> TelemetrySummary {
+        TelemetrySummary::from_registry(&self.registry)
+    }
+}
+
+/// Latency summary of one pipeline stage, milliseconds.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct StageStats {
+    pub stage: String,
+    pub count: u64,
+    pub mean_ms: f64,
+    pub p50_ms: f64,
+    pub p95_ms: f64,
+    pub p99_ms: f64,
+    pub max_ms: f64,
+}
+
+/// Registry snapshot embedded in simulation reports: per-stage latency
+/// percentiles plus every counter.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TelemetrySummary {
+    /// One row per [`STAGE_MS`] histogram, sorted by stage name.
+    pub stages: Vec<StageStats>,
+    /// Every counter as `(name, label, value)`, sorted.
+    pub counters: Vec<(String, String, u64)>,
+}
+
+impl TelemetrySummary {
+    /// Snapshots `registry` into a summary.
+    pub fn from_registry(registry: &Registry) -> Self {
+        let stages = registry
+            .histogram_stats()
+            .into_iter()
+            .filter(|(name, _, _)| *name == STAGE_MS)
+            .map(|(_, stage, s)| StageStats {
+                stage,
+                count: s.count,
+                mean_ms: s.mean,
+                p50_ms: s.p50,
+                p95_ms: s.p95,
+                p99_ms: s.p99,
+                max_ms: s.max,
+            })
+            .collect();
+        let counters = registry
+            .counter_values()
+            .into_iter()
+            .map(|(n, l, v)| (n.to_string(), l, v))
+            .collect();
+        Self { stages, counters }
+    }
+
+    /// Copy with every wall-clock field zeroed, keeping event/stage
+    /// counts. Wall-clock timings vary run to run even under a fixed
+    /// seed, so determinism tests compare zeroed summaries.
+    pub fn with_zeroed_timings(&self) -> Self {
+        Self {
+            stages: self
+                .stages
+                .iter()
+                .map(|s| StageStats {
+                    stage: s.stage.clone(),
+                    count: s.count,
+                    ..Default::default()
+                })
+                .collect(),
+            counters: self.counters.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_collects_stage_histograms_and_counters() {
+        let t = Telemetry::new();
+        t.stage_timer(stage::KMEANS_FIT).stop();
+        t.stage_timer(stage::KMEANS_FIT).stop();
+        t.stage_timer(stage::CNN_FORWARD).stop();
+        // A non-stage histogram must not leak into the stage table.
+        t.registry().histogram("other", "x").record(1.0);
+        t.counter("events_total", "GroupsFormed").add(2);
+        let s = t.summary();
+        assert_eq!(s.stages.len(), 2);
+        assert_eq!(s.stages[0].stage, stage::CNN_FORWARD);
+        assert_eq!(s.stages[1].stage, stage::KMEANS_FIT);
+        assert_eq!(s.stages[1].count, 2);
+        assert_eq!(
+            s.counters,
+            vec![("events_total".to_string(), "GroupsFormed".to_string(), 2)]
+        );
+    }
+
+    #[test]
+    fn zeroed_timings_are_equal_across_runs() {
+        let mk = || {
+            let t = Telemetry::new();
+            t.stage_timer(stage::INTERVAL).stop();
+            t.counter("intervals_total", "").inc();
+            t.summary().with_zeroed_timings()
+        };
+        assert_eq!(mk(), mk());
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let t = Telemetry::new();
+        let clone = t.clone();
+        clone.counter("n", "").inc();
+        clone.event(10, Event::IntervalStarted { interval: 0 });
+        assert_eq!(t.counter("n", "").get(), 1);
+        assert_eq!(t.journal().len(), 1);
+    }
+
+    #[test]
+    fn emit_stamps_shared_clock_and_counts() {
+        let t = Telemetry::new();
+        let clone = t.clone();
+        t.set_now_ms(1234);
+        clone.emit(Event::IntervalStarted { interval: 3 });
+        let entries = t.journal().entries();
+        assert_eq!(entries[0].t_ms, 1234);
+        assert_eq!(t.counter("events_total", "IntervalStarted").get(), 1);
+    }
+}

@@ -1,0 +1,142 @@
+//! Reproducibility manifest for a simulation run.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+use std::process::Command;
+
+use crate::json::Json;
+
+/// Everything needed to reproduce (or at least identify) a run: the
+/// configuration that produced it, the seed, the code version, and how
+/// long each pipeline stage took in wall-clock terms.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RunManifest {
+    /// Human-readable scheme name (e.g. `dt-assisted`).
+    pub scheme: String,
+    /// Master RNG seed of the run.
+    pub seed: u64,
+    /// `git describe --always --dirty` of the working tree, or `unknown`
+    /// when the binary runs outside a git checkout.
+    pub git_describe: String,
+    /// Wall-clock start, seconds since the Unix epoch.
+    pub started_unix_s: u64,
+    /// Flattened configuration key/value pairs.
+    pub config: BTreeMap<String, String>,
+    /// Total wall-clock milliseconds spent per pipeline stage.
+    pub stage_wall_ms: BTreeMap<String, f64>,
+}
+
+impl RunManifest {
+    /// Builds a manifest stamped with the current git version and wall
+    /// clock.
+    pub fn new(scheme: impl Into<String>, seed: u64) -> Self {
+        Self {
+            scheme: scheme.into(),
+            seed,
+            git_describe: git_describe(),
+            started_unix_s: std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.as_secs())
+                .unwrap_or(0),
+            config: BTreeMap::new(),
+            stage_wall_ms: BTreeMap::new(),
+        }
+    }
+
+    /// Records one configuration key/value pair (builder style).
+    pub fn with_config(mut self, key: impl Into<String>, value: impl ToString) -> Self {
+        self.config.insert(key.into(), value.to_string());
+        self
+    }
+
+    /// Accumulates wall-clock time against a stage.
+    pub fn add_stage_wall_ms(&mut self, stage: impl Into<String>, wall_ms: f64) {
+        *self.stage_wall_ms.entry(stage.into()).or_insert(0.0) += wall_ms;
+    }
+
+    /// The manifest as a single JSON object.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("scheme", Json::Str(self.scheme.clone())),
+            ("seed", Json::Num(self.seed as f64)),
+            ("git_describe", Json::Str(self.git_describe.clone())),
+            ("started_unix_s", Json::Num(self.started_unix_s as f64)),
+            (
+                "config",
+                Json::Obj(
+                    self.config
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Json::Str(v.clone())))
+                        .collect(),
+                ),
+            ),
+            (
+                "stage_wall_ms",
+                Json::Obj(
+                    self.stage_wall_ms
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Json::Num(*v)))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Writes the manifest as pretty-enough JSON to `path`.
+    ///
+    /// # Errors
+    /// Propagates filesystem errors.
+    pub fn write_to(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        std::fs::write(path, format!("{}\n", self.to_json()))
+    }
+}
+
+/// Best-effort `git describe`; never fails, returns `unknown` instead.
+fn git_describe() -> String {
+    Command::new("git")
+        .args(["describe", "--always", "--dirty"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manifest_serialises_config_and_stages() {
+        let mut m = RunManifest::new("dt-assisted", 7)
+            .with_config("n_users", 40)
+            .with_config("intervals", 12);
+        m.add_stage_wall_ms("kmeans_fit", 1.5);
+        m.add_stage_wall_ms("kmeans_fit", 2.5);
+        let j = m.to_json();
+        assert_eq!(j.get("scheme").unwrap().as_str(), Some("dt-assisted"));
+        assert_eq!(j.get("seed").unwrap().as_u64(), Some(7));
+        assert_eq!(
+            j.get("config").unwrap().get("n_users").unwrap().as_str(),
+            Some("40")
+        );
+        assert_eq!(
+            j.get("stage_wall_ms")
+                .unwrap()
+                .get("kmeans_fit")
+                .unwrap()
+                .as_f64(),
+            Some(4.0)
+        );
+        // Round-trips through the parser.
+        assert_eq!(Json::parse(&j.to_string()).unwrap(), j);
+    }
+
+    #[test]
+    fn git_describe_never_panics() {
+        let v = git_describe();
+        assert!(!v.is_empty());
+    }
+}

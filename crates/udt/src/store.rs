@@ -1,9 +1,9 @@
 //! The concurrent edge-resident twin registry.
 
 use std::collections::HashMap;
+use std::sync::RwLock;
 
 use msvs_types::{Error, Position, Result, SimTime, UserId};
-use parking_lot::RwLock;
 
 use crate::attribute::WatchRecord;
 use crate::twin::UserDigitalTwin;
@@ -34,9 +34,24 @@ impl UdtStore {
         &self.shards[user.index() % SHARDS]
     }
 
+    /// Shared shard access; a poisoned lock means a collector thread
+    /// panicked mid-update, which is unrecoverable for the registry.
+    fn read(
+        shard: &RwLock<HashMap<UserId, UserDigitalTwin>>,
+    ) -> std::sync::RwLockReadGuard<'_, HashMap<UserId, UserDigitalTwin>> {
+        shard.read().expect("twin shard lock poisoned")
+    }
+
+    /// Exclusive shard access (same poisoning policy as [`Self::read`]).
+    fn write(
+        shard: &RwLock<HashMap<UserId, UserDigitalTwin>>,
+    ) -> std::sync::RwLockWriteGuard<'_, HashMap<UserId, UserDigitalTwin>> {
+        shard.write().expect("twin shard lock poisoned")
+    }
+
     /// Number of registered twins.
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.read().len()).sum()
+        self.shards.iter().map(|s| Self::read(s).len()).sum()
     }
 
     /// Whether the store holds no twins.
@@ -46,17 +61,17 @@ impl UdtStore {
 
     /// Registers (or replaces) a twin.
     pub fn insert(&self, twin: UserDigitalTwin) {
-        self.shard(twin.user()).write().insert(twin.user(), twin);
+        Self::write(self.shard(twin.user())).insert(twin.user(), twin);
     }
 
     /// Removes a twin, returning it if present.
     pub fn remove(&self, user: UserId) -> Option<UserDigitalTwin> {
-        self.shard(user).write().remove(&user)
+        Self::write(self.shard(user)).remove(&user)
     }
 
     /// Whether a twin exists for `user`.
     pub fn contains(&self, user: UserId) -> bool {
-        self.shard(user).read().contains_key(&user)
+        Self::read(self.shard(user)).contains_key(&user)
     }
 
     /// All registered user ids (sorted for determinism).
@@ -64,7 +79,7 @@ impl UdtStore {
         let mut ids: Vec<UserId> = self
             .shards
             .iter()
-            .flat_map(|s| s.read().keys().copied().collect::<Vec<_>>())
+            .flat_map(|s| Self::read(s).keys().copied().collect::<Vec<_>>())
             .collect();
         ids.sort();
         ids
@@ -75,7 +90,7 @@ impl UdtStore {
     /// # Errors
     /// Returns [`Error::NotFound`] for an unregistered user.
     pub fn with_twin<T>(&self, user: UserId, f: impl FnOnce(&UserDigitalTwin) -> T) -> Result<T> {
-        let guard = self.shard(user).read();
+        let guard = Self::read(self.shard(user));
         guard
             .get(&user)
             .map(f)
@@ -91,7 +106,7 @@ impl UdtStore {
         user: UserId,
         f: impl FnOnce(&mut UserDigitalTwin) -> T,
     ) -> Result<T> {
-        let mut guard = self.shard(user).write();
+        let mut guard = Self::write(self.shard(user));
         guard
             .get_mut(&user)
             .map(f)
@@ -127,7 +142,7 @@ impl UdtStore {
         let mut twins: Vec<UserDigitalTwin> = self
             .shards
             .iter()
-            .flat_map(|s| s.read().values().cloned().collect::<Vec<_>>())
+            .flat_map(|s| Self::read(s).values().cloned().collect::<Vec<_>>())
             .collect();
         twins.sort_by_key(|t| t.user());
         twins

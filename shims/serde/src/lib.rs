@@ -1,0 +1,37 @@
+//! Offline stand-in for the `serde` trait names this workspace derives.
+//!
+//! The build environment has no network access, so the real `serde`
+//! cannot be fetched. The workspace derives `Serialize`/`Deserialize` on
+//! its public types for downstream compatibility but performs no serde
+//! serialisation itself (structured export is hand-rolled JSON in
+//! `msvs-telemetry`). This crate therefore provides the two trait names
+//! as blanket-implemented markers plus no-op derive macros, keeping every
+//! `use serde::{Deserialize, Serialize}` and `#[derive(...)]` site
+//! source-compatible with the real crate.
+
+/// Marker stand-in for `serde::Serialize`; blanket-implemented.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize<'de>`; blanket-implemented.
+pub trait Deserialize<'de> {}
+
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+#[cfg(all(test, feature = "derive"))]
+mod tests {
+    #[test]
+    fn derives_compile_and_traits_are_satisfied() {
+        #[derive(crate::Serialize, crate::Deserialize)]
+        struct Probe {
+            _x: u32,
+        }
+
+        fn needs_serialize<T: crate::Serialize>(_: &T) {}
+        needs_serialize(&Probe { _x: 1 });
+    }
+}

@@ -3,15 +3,19 @@
 //! ```text
 //! msvs run [--users N] [--intervals N] [--seed S] [--churn F]
 //!          [--per-bs] [--predictor scheme|naive|ewma] [--csv PATH]
+//!          [--journal PATH]
+//! msvs report <journal.jsonl>
 //! msvs swiping [--users N] [--seed S]
 //! msvs reserve [--headroom F] [--users N] [--seed S]
 //! msvs help
 //! ```
 
+use std::collections::BTreeMap;
 use std::process::ExitCode;
 
 use msvs::core::ReservationPolicy;
-use msvs::sim::{report, DemandPredictorKind, Simulation, SimulationConfig};
+use msvs::sim::{report, DemandPredictorKind, Simulation, SimulationConfig, SimulationReport};
+use msvs::telemetry::{Event, EventJournal, RunManifest};
 use msvs::types::VideoCategory;
 
 fn main() -> ExitCode {
@@ -19,6 +23,7 @@ fn main() -> ExitCode {
     let command = args.first().map(String::as_str).unwrap_or("help");
     let result = match command {
         "run" => cmd_run(&args[1..]),
+        "report" => cmd_report(&args[1..]),
         "swiping" => cmd_swiping(&args[1..]),
         "reserve" => cmd_reserve(&args[1..]),
         "help" | "--help" | "-h" => {
@@ -43,12 +48,16 @@ fn print_help() {
          USAGE:\n\
          \x20 msvs run     [--users N] [--intervals N] [--seed S] [--churn F]\n\
          \x20              [--per-bs] [--predictor scheme|naive|ewma] [--csv PATH]\n\
+         \x20              [--journal PATH]\n\
+         \x20 msvs report  <journal.jsonl>             summarise a run's journal\n\
          \x20 msvs swiping [--users N] [--seed S]      print a group's swipe curves\n\
          \x20 msvs reserve [--headroom F] [--users N] [--seed S]\n\
          \x20 msvs help\n\
          \n\
          `run` simulates the campus scenario and prints the per-interval\n\
-         predicted-vs-actual scorecard (Fig. 3(b) of the paper)."
+         predicted-vs-actual scorecard (Fig. 3(b) of the paper).\n\
+         `--journal` writes the telemetry event journal as JSONL (plus a\n\
+         run manifest next to it); `report` pretty-prints such a journal."
     );
 }
 
@@ -105,8 +114,23 @@ fn base_config(flags: &Flags<'_>) -> Result<SimulationConfig, String> {
 
 fn cmd_run(args: &[String]) -> Result<(), String> {
     let flags = Flags::new(args)?;
+    // Fail before the (long) run rather than silently dropping the export.
+    if flags.has("--journal") && flags.value("--journal").is_none() {
+        return Err("--journal requires a path".into());
+    }
     let cfg = base_config(&flags)?;
-    let result = Simulation::run(cfg).map_err(|e| e.to_string())?;
+    let (n_users, n_intervals, seed) = (cfg.n_users, cfg.n_intervals, cfg.seed);
+    // Drive the intervals by hand (rather than `Simulation::run`) so the
+    // telemetry handle stays reachable for the journal export below.
+    let mut sim = Simulation::new(cfg).map_err(|e| e.to_string())?;
+    sim.warm_up().map_err(|e| e.to_string())?;
+    let mut result = SimulationReport::default();
+    for i in 0..n_intervals {
+        result
+            .intervals
+            .push(sim.run_interval(i).map_err(|e| e.to_string())?);
+    }
+    result.telemetry = sim.telemetry().summary();
     println!("{}", report::interval_table(&result));
     println!(
         "radio accuracy {:.2}% | computing accuracy {:.2}% | saving {:.1}% | waste {:.2}%",
@@ -118,6 +142,115 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     if let Some(path) = flags.value("--csv") {
         std::fs::write(path, report::to_csv(&result)).map_err(|e| e.to_string())?;
         println!("wrote {path}");
+    }
+    if let Some(path) = flags.value("--journal") {
+        std::fs::write(path, sim.telemetry().journal().to_jsonl()).map_err(|e| e.to_string())?;
+        let scheme = match flags.value("--predictor").unwrap_or("scheme") {
+            "naive" => "naive-full-watch",
+            "ewma" => "historical-mean",
+            _ => "dt-assisted",
+        };
+        let mut manifest = RunManifest::new(scheme, seed)
+            .with_config("users", n_users)
+            .with_config("intervals", n_intervals);
+        for s in &result.telemetry.stages {
+            manifest.add_stage_wall_ms(&s.stage, s.mean_ms * s.count as f64);
+        }
+        let manifest_path = format!("{}.manifest.json", path.trim_end_matches(".jsonl"));
+        manifest
+            .write_to(&manifest_path)
+            .map_err(|e| e.to_string())?;
+        println!("wrote {path} and {manifest_path}");
+    }
+    Ok(())
+}
+
+/// `msvs report <journal.jsonl>`: stage-latency and event summary of a
+/// journal written by `msvs run --journal`.
+fn cmd_report(args: &[String]) -> Result<(), String> {
+    let path = args
+        .first()
+        .filter(|a| !a.starts_with("--"))
+        .ok_or("usage: msvs report <journal.jsonl>")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let journal = EventJournal::parse_jsonl(&text)?;
+    let entries = journal.entries();
+    if let Some((scheme, seed)) = entries.iter().find_map(|e| match &e.event {
+        Event::RunStarted { scheme, seed } => Some((scheme.clone(), *seed)),
+        _ => None,
+    }) {
+        println!(
+            "run: scheme {scheme}, seed {seed}, {} events\n",
+            entries.len()
+        );
+    }
+
+    // Stage-latency table from StageCompleted events.
+    let mut stages: BTreeMap<&str, Vec<f64>> = BTreeMap::new();
+    for e in &entries {
+        if let Event::StageCompleted { stage, wall_ms } = &e.event {
+            stages.entry(stage).or_default().push(*wall_ms);
+        }
+    }
+    if !stages.is_empty() {
+        let rows: Vec<Vec<String>> = stages
+            .iter()
+            .map(|(stage, ms)| {
+                let total: f64 = ms.iter().sum();
+                let min = ms.iter().cloned().fold(f64::INFINITY, f64::min);
+                let max = ms.iter().cloned().fold(0.0f64, f64::max);
+                vec![
+                    stage.to_string(),
+                    ms.len().to_string(),
+                    format!("{:.3}", total / ms.len() as f64),
+                    format!("{min:.3}"),
+                    format!("{max:.3}"),
+                    format!("{total:.3}"),
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            report::format_table(
+                &["stage", "count", "mean ms", "min ms", "max ms", "total ms"],
+                &rows,
+            )
+        );
+    }
+
+    // Event counts by type.
+    let mut counts: BTreeMap<&'static str, u64> = BTreeMap::new();
+    for e in &entries {
+        *counts.entry(e.event.name()).or_insert(0) += 1;
+    }
+    let rows: Vec<Vec<String>> = counts
+        .iter()
+        .map(|(name, n)| vec![name.to_string(), n.to_string()])
+        .collect();
+    println!("{}", report::format_table(&["event", "count"], &rows));
+
+    // Per-interval outcomes.
+    let rows: Vec<Vec<String>> = entries
+        .iter()
+        .filter_map(|e| match &e.event {
+            Event::IntervalCompleted {
+                interval,
+                qoe,
+                hit_ratio,
+            } => Some(vec![
+                interval.to_string(),
+                format!("{:.1}", e.t_ms as f64 / 1000.0),
+                format!("{qoe:.3}"),
+                format!("{hit_ratio:.3}"),
+            ]),
+            _ => None,
+        })
+        .collect();
+    if !rows.is_empty() {
+        println!(
+            "{}",
+            report::format_table(&["interval", "t(s)", "QoE", "hit ratio"], &rows)
+        );
     }
     Ok(())
 }

@@ -70,3 +70,7 @@ pub use msvs_core as core;
 
 /// End-to-end simulator ([`msvs_sim`]).
 pub use msvs_sim as sim;
+
+/// Metrics, stage timers, event journal and run manifests
+/// ([`msvs_telemetry`]).
+pub use msvs_telemetry as telemetry;

@@ -212,10 +212,17 @@ fn store_mutation_between_predictions_changes_outcome() {
     let store = bimodal_store(30, 5);
     let (catalog, cache, transcode, link) = fixtures();
     let mut p = predictor(GroupingStrategy::FixedK(3));
-    let before = p
-        .predict(&store, &catalog, &cache, &transcode, &link)
-        .expect("prediction runs")
-        .total_radio();
+    // Compare RB per megabit: the scheme adapts bitrate to the channel, so
+    // raw total RB can fall when traffic shrinks, but the per-Mb radio cost
+    // must rise once every user sits at the cell edge.
+    let rb_per_mb = |p: &mut DtAssistedPredictor| {
+        let outcome = p
+            .predict(&store, &catalog, &cache, &transcode, &link)
+            .expect("prediction runs");
+        let traffic: f64 = outcome.groups.iter().map(|g| g.expected_traffic_mb).sum();
+        outcome.total_radio().value() / traffic
+    };
+    let before = rb_per_mb(&mut p);
     // Crash every user's channel.
     for id in store.user_ids() {
         for s in 0..64u64 {
@@ -224,12 +231,9 @@ fn store_mutation_between_predictions_changes_outcome() {
                 .expect("user exists");
         }
     }
-    let after = p
-        .predict(&store, &catalog, &cache, &transcode, &link)
-        .expect("prediction runs")
-        .total_radio();
+    let after = rb_per_mb(&mut p);
     assert!(
-        after.value() > before.value(),
-        "worse channel must raise predicted demand: {before} -> {after}"
+        after > before,
+        "worse channel must raise per-Mb radio cost: {before:.4} -> {after:.4} RB/Mb"
     );
 }
