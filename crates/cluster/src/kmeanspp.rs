@@ -1,8 +1,14 @@
 //! K-means with K-means++ seeding (Arthur & Vassilvitskii, 2007).
 
+use msvs_par::Pool;
 use msvs_types::{Error, Result};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+
+/// Point count below which the assignment step always runs serially: the
+/// nearest-centroid scan is so cheap per point that thread-spawn overhead
+/// dominates for small inputs.
+const PAR_MIN_POINTS: usize = 256;
 
 /// Configuration for a [`KMeans`] run.
 #[derive(Debug, Clone)]
@@ -15,6 +21,11 @@ pub struct KMeansConfig {
     pub tolerance: f64,
     /// RNG seed for seeding and empty-cluster repair.
     pub seed: u64,
+    /// Worker threads for the assignment step (`1` = serial, `0` = all
+    /// available cores). Results are identical at any thread count: each
+    /// point's nearest-centroid scan is independent and results merge in
+    /// point order.
+    pub threads: usize,
 }
 
 impl Default for KMeansConfig {
@@ -24,6 +35,7 @@ impl Default for KMeansConfig {
             max_iters: 100,
             tolerance: 1e-8,
             seed: 0,
+            threads: 1,
         }
     }
 }
@@ -73,6 +85,19 @@ fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
     a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
 }
 
+fn nearest(p: &[f64], centroids: &[Vec<f64>]) -> (usize, f64) {
+    let mut best = 0;
+    let mut best_d = f64::MAX;
+    for (c, centroid) in centroids.iter().enumerate() {
+        let d = sq_dist(p, centroid);
+        if d < best_d {
+            best_d = d;
+            best = c;
+        }
+    }
+    (best, best_d)
+}
+
 impl KMeans {
     /// Builds a clusterer with the given configuration.
     pub fn new(config: KMeansConfig) -> Self {
@@ -120,21 +145,15 @@ impl KMeans {
         let mut assignments = vec![0usize; points.len()];
         let mut iterations = 0;
         let mut converged = false;
+        let pool = self.assignment_pool(points.len());
 
         for iter in 0..self.config.max_iters {
             iterations = iter + 1;
-            // Assignment step.
-            for (i, p) in points.iter().enumerate() {
-                let mut best = 0;
-                let mut best_d = f64::MAX;
-                for (c, centroid) in centroids.iter().enumerate() {
-                    let d = sq_dist(p, centroid);
-                    if d < best_d {
-                        best_d = d;
-                        best = c;
-                    }
-                }
-                assignments[i] = best;
+            // Assignment step: independent per point, merged in point order,
+            // so the outcome is identical at any thread count.
+            let nearest_all = pool.map(points, |_, p| nearest(p, &centroids));
+            for (a, (best, _)) in assignments.iter_mut().zip(&nearest_all) {
+                *a = *best;
             }
             // Update step.
             let mut sums = vec![vec![0.0; dim]; k];
@@ -174,19 +193,12 @@ impl KMeans {
             }
         }
 
-        // Final assignment against the converged centroids.
+        // Final assignment against the converged centroids. Inertia is summed
+        // serially in point order so the f64 total is thread-count invariant.
+        let nearest_all = pool.map(points, |_, p| nearest(p, &centroids));
         let mut inertia = 0.0;
-        for (i, p) in points.iter().enumerate() {
-            let mut best = 0;
-            let mut best_d = f64::MAX;
-            for (c, centroid) in centroids.iter().enumerate() {
-                let d = sq_dist(p, centroid);
-                if d < best_d {
-                    best_d = d;
-                    best = c;
-                }
-            }
-            assignments[i] = best;
+        for (a, (best, best_d)) in assignments.iter_mut().zip(&nearest_all) {
+            *a = *best;
             inertia += best_d;
         }
 
@@ -197,6 +209,16 @@ impl KMeans {
             iterations,
             converged,
         })
+    }
+
+    /// Pool for the assignment step: serial below [`PAR_MIN_POINTS`] where
+    /// spawn overhead outweighs the per-point work.
+    fn assignment_pool(&self, n_points: usize) -> Pool {
+        if self.config.threads == 1 || n_points < PAR_MIN_POINTS {
+            Pool::serial()
+        } else {
+            Pool::new(self.config.threads)
+        }
     }
 
     /// K-means++ seeding: first centroid uniform, then each next centroid
@@ -351,6 +373,40 @@ mod tests {
         let mut all: Vec<usize> = members.into_iter().flatten().collect();
         all.sort();
         assert_eq!(all, (0..pts.len()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_fit_bit_identical_to_serial() {
+        // Enough points to clear the PAR_MIN_POINTS gate.
+        let pts = blobs(
+            &[(0.0, 0.0), (6.0, 0.0), (0.0, 6.0), (6.0, 6.0)],
+            80,
+            0.8,
+            11,
+        );
+        assert!(pts.len() >= PAR_MIN_POINTS);
+        let fit = |threads: usize| {
+            KMeans::new(KMeansConfig {
+                k: 4,
+                seed: 21,
+                threads,
+                ..Default::default()
+            })
+            .fit(&pts)
+            .unwrap()
+        };
+        let serial = fit(1);
+        for threads in [2, 4, 8] {
+            let par = fit(threads);
+            assert_eq!(serial.assignments, par.assignments, "threads={threads}");
+            assert_eq!(serial.centroids, par.centroids, "threads={threads}");
+            assert_eq!(
+                serial.inertia.to_bits(),
+                par.inertia.to_bits(),
+                "threads={threads}"
+            );
+            assert_eq!(serial.iterations, par.iterations);
+        }
     }
 
     #[test]

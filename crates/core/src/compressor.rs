@@ -8,6 +8,7 @@
 //! training signal without labels.
 
 use msvs_nn::{mse_loss, Adam, Conv1d, Dense, Flatten, Optimizer, Relu, Sequential, Tensor};
+use msvs_par::{ParStats, Pool};
 use msvs_types::{Error, Result};
 use msvs_udt::FeatureWindow;
 
@@ -79,6 +80,12 @@ impl CompressorConfig {
 
 /// A trainable 1D-CNN autoencoder that compresses twin windows to
 /// embeddings.
+///
+/// Lifecycle: [`train`](Self::train) while unfrozen, then
+/// [`freeze`](Self::freeze) to enter the inference phase. Encoding takes
+/// `&self`, so a frozen compressor can be shared across worker threads;
+/// [`thaw`](Self::thaw) re-opens training (e.g. after
+/// `invalidate_compressor`).
 pub struct CnnCompressor {
     config: CompressorConfig,
     encoder: Sequential,
@@ -86,6 +93,7 @@ pub struct CnnCompressor {
     enc_opt: Adam,
     dec_opt: Adam,
     trained_epochs: usize,
+    frozen: bool,
 }
 
 impl std::fmt::Debug for CnnCompressor {
@@ -94,6 +102,7 @@ impl std::fmt::Debug for CnnCompressor {
             .field("window", &self.config.window)
             .field("embed_dim", &self.config.embed_dim)
             .field("trained_epochs", &self.trained_epochs)
+            .field("frozen", &self.frozen)
             .finish()
     }
 }
@@ -135,6 +144,7 @@ impl CnnCompressor {
             decoder,
             config,
             trained_epochs: 0,
+            frozen: false,
         })
     }
 
@@ -148,12 +158,35 @@ impl CnnCompressor {
         self.trained_epochs
     }
 
+    /// Marks the compressor read-only: subsequent [`train`](Self::train)
+    /// calls fail until [`thaw`](Self::thaw). Encoding is unaffected.
+    pub fn freeze(&mut self) {
+        self.frozen = true;
+    }
+
+    /// Re-opens training after a [`freeze`](Self::freeze).
+    pub fn thaw(&mut self) {
+        self.frozen = false;
+    }
+
+    /// Whether the compressor is in the frozen (inference-only) phase.
+    pub fn is_frozen(&self) -> bool {
+        self.frozen
+    }
+
     /// Trains the autoencoder on a batch of windows for
     /// `config.epochs` epochs; returns the reconstruction loss per epoch.
     ///
     /// # Errors
-    /// Propagates shape errors from malformed windows.
+    /// - [`Error::InvalidConfig`] if the compressor is frozen;
+    /// - shape errors from malformed windows.
     pub fn train(&mut self, windows: &[FeatureWindow]) -> Result<Vec<f32>> {
+        if self.frozen {
+            return Err(Error::invalid_config(
+                "compressor",
+                "cannot train a frozen compressor; call thaw() first",
+            ));
+        }
         let x = windows_to_tensor(windows)?;
         self.check_input(&x)?;
         let batch = x.shape()[0];
@@ -180,14 +213,15 @@ impl CnnCompressor {
 
     /// Encodes windows into clustering features: CNN embedding plus the
     /// weighted preference vector (see
-    /// [`embedding_features`]).
+    /// [`embedding_features`]). Immutable — safe to call from many threads
+    /// on a shared (typically frozen) compressor.
     ///
     /// # Errors
     /// Propagates shape errors from malformed windows.
-    pub fn encode(&mut self, windows: &[FeatureWindow]) -> Result<Vec<Vec<f64>>> {
+    pub fn encode(&self, windows: &[FeatureWindow]) -> Result<Vec<Vec<f64>>> {
         let x = windows_to_tensor(windows)?;
         self.check_input(&x)?;
-        let code = self.encoder.forward(&x, false);
+        let code = self.encoder.infer(&x);
         Ok(windows
             .iter()
             .enumerate()
@@ -196,6 +230,39 @@ impl CnnCompressor {
                 embedding_features(&emb, &w.preference, self.config.preference_weight)
             })
             .collect())
+    }
+
+    /// Parallel [`encode`](Self::encode): splits `windows` into chunks and
+    /// encodes them on the pool's workers, merging results back in window
+    /// order. Every network op is independent per batch row, so the output
+    /// is bit-identical to the serial `encode` at any thread count.
+    ///
+    /// # Errors
+    /// Propagates shape errors from malformed windows.
+    pub fn encode_with(
+        &self,
+        windows: &[FeatureWindow],
+        pool: &Pool,
+    ) -> Result<(Vec<Vec<f64>>, ParStats)> {
+        if windows.is_empty() {
+            return Ok((
+                Vec::new(),
+                ParStats {
+                    threads: 1,
+                    tasks: 0,
+                    busy: std::time::Duration::ZERO,
+                    wall: std::time::Duration::ZERO,
+                },
+            ));
+        }
+        let chunk = windows.len().div_ceil(pool.threads() * 4).max(1);
+        let chunks: Vec<&[FeatureWindow]> = windows.chunks(chunk).collect();
+        let (encoded, stats) = pool.map_stats(&chunks, |_, c| self.encode(c));
+        let mut out = Vec::with_capacity(windows.len());
+        for part in encoded {
+            out.extend(part?);
+        }
+        Ok((out, stats))
     }
 
     fn check_input(&self, x: &Tensor) -> Result<()> {
@@ -325,7 +392,7 @@ mod tests {
 
     #[test]
     fn encode_output_dims() {
-        let mut comp = CnnCompressor::new(config()).unwrap();
+        let comp = CnnCompressor::new(config()).unwrap();
         let (windows, _) = archetype_windows(3, 3);
         let feats = comp.encode(&windows).unwrap();
         assert_eq!(feats.len(), 6);
@@ -336,12 +403,44 @@ mod tests {
 
     #[test]
     fn encode_rejects_wrong_window() {
-        let mut comp = CnnCompressor::new(config()).unwrap();
+        let comp = CnnCompressor::new(config()).unwrap();
         let bad = FeatureWindow {
             series: vec![vec![0.5; 20]; 4],
             preference: vec![0.125; 8],
         };
         assert!(comp.encode(&[bad]).is_err());
+    }
+
+    #[test]
+    fn frozen_compressor_rejects_training_until_thawed() {
+        let mut comp = CnnCompressor::new(config()).unwrap();
+        let (windows, _) = archetype_windows(4, 5);
+        comp.freeze();
+        assert!(comp.is_frozen());
+        assert!(comp.train(&windows).is_err());
+        // Encoding still works while frozen.
+        assert!(comp.encode(&windows).is_ok());
+        comp.thaw();
+        assert!(!comp.is_frozen());
+        assert!(comp.train(&windows).is_ok());
+    }
+
+    #[test]
+    fn parallel_encode_bit_identical_to_serial() {
+        let mut comp = CnnCompressor::new(config()).unwrap();
+        let (windows, _) = archetype_windows(30, 6);
+        comp.train(&windows).unwrap();
+        comp.freeze();
+        let serial = comp.encode(&windows).unwrap();
+        for threads in [2, 4] {
+            let (par, stats) = comp.encode_with(&windows, &Pool::new(threads)).unwrap();
+            assert_eq!(serial, par, "threads={threads}");
+            assert!(stats.tasks >= 1, "chunk tasks recorded");
+        }
+        // The empty input short-circuits.
+        let (empty, stats) = comp.encode_with(&[], &Pool::new(4)).unwrap();
+        assert!(empty.is_empty());
+        assert_eq!(stats.tasks, 0);
     }
 
     #[test]

@@ -62,6 +62,10 @@ pub struct GroupingConfig {
     pub dueling: bool,
     /// RNG seed (agent weights, K-means seeding, random baseline).
     pub seed: u64,
+    /// Worker threads for the K-means assignment step (`1` = serial,
+    /// `0` = all available cores). Assignment results are identical at any
+    /// thread count.
+    pub threads: usize,
 }
 
 impl Default for GroupingConfig {
@@ -77,6 +81,7 @@ impl Default for GroupingConfig {
             prioritized_replay: false,
             dueling: false,
             seed: 0,
+            threads: 1,
         }
     }
 }
@@ -368,6 +373,7 @@ impl GroupingEngine {
         let fit = KMeans::new(KMeansConfig {
             k,
             seed: self.config.seed ^ 0x5EED,
+            threads: self.config.threads,
             ..Default::default()
         })
         .fit(features)?;

@@ -28,6 +28,7 @@ pub mod compressor;
 pub mod demand;
 pub mod features;
 pub mod grouping;
+pub mod predictor;
 pub mod recommend;
 pub mod reserve;
 pub mod scheme;
@@ -40,6 +41,7 @@ pub use demand::{
 };
 pub use features::{embedding_features, windows_to_tensor};
 pub use grouping::{Grouping, GroupingConfig, GroupingEngine, GroupingStrategy};
+pub use predictor::{DemandPredictor, PipelineBacked, Prediction, PredictionContext};
 pub use recommend::{recommend_for_group, GroupRecommendation, RecommenderConfig};
 pub use reserve::{
     plan_reservation, score_reservation, GroupReservation, ReservationOutcome, ReservationPlan,

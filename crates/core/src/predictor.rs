@@ -1,0 +1,217 @@
+//! The pluggable demand-predictor API.
+//!
+//! Every predictor the simulator can score — the paper's DT-assisted
+//! scheme, the naive full-watch ablation, the historical-mean EWMA — sits
+//! behind the [`DemandPredictor`] trait, so the simulation runner holds a
+//! `Box<dyn DemandPredictor>` and new predictors plug in without touching
+//! the runner at all.
+
+use msvs_channel::Link;
+use msvs_edge::{TranscodeModel, VideoCache};
+use msvs_types::{CpuCycles, ResourceBlocks, Result};
+use msvs_udt::UdtStore;
+use msvs_video::Catalog;
+
+use crate::baselines::HistoricalMeanPredictor;
+use crate::scheme::{DtAssistedPredictor, PredictionOutcome};
+
+/// Everything a predictor may consult when forecasting the next
+/// reservation interval. Borrowed from the simulator each pass.
+pub struct PredictionContext<'a> {
+    /// The user digital twin store (channel, location, watch histories).
+    pub store: &'a UdtStore,
+    /// The video catalog.
+    pub catalog: &'a Catalog,
+    /// The edge video cache (hit/miss state drives transcode demand).
+    pub cache: &'a VideoCache,
+    /// The transcoding cost model.
+    pub transcode: &'a TranscodeModel,
+    /// The radio link model.
+    pub link: &'a Link,
+}
+
+/// A predictor's forecast for the coming interval.
+#[derive(Debug)]
+pub struct Prediction {
+    /// Predicted multicast radio demand.
+    pub radio: ResourceBlocks,
+    /// Predicted edge computing demand.
+    pub computing: CpuCycles,
+    /// The full pipeline outcome (grouping, swiping abstractions,
+    /// recommendations) when the predictor runs the DT pipeline; `None`
+    /// for scalar predictors like the historical mean.
+    pub outcome: Option<PredictionOutcome>,
+}
+
+/// A resource-demand predictor the simulator can score.
+///
+/// Implementations must be [`Send`] so a simulation owning one can move
+/// across threads.
+pub trait DemandPredictor: Send {
+    /// Stable human-readable name (run manifests, journals, reports).
+    fn name(&self) -> &'static str;
+
+    /// Forecasts the next interval's resource demand.
+    ///
+    /// # Errors
+    /// Propagates pipeline errors (insufficient twins, shape mismatches).
+    fn predict(&mut self, ctx: &PredictionContext<'_>) -> Result<Prediction>;
+
+    /// Wires the predictor into an observability pipeline. Default: no-op.
+    fn attach_telemetry(&mut self, _telemetry: msvs_telemetry::Telemetry) {}
+
+    /// Feeds back the interval's *actual* measured demand after playback
+    /// (learning predictors fold it into their state). Default: no-op.
+    fn observe_actual(&mut self, _radio: ResourceBlocks, _computing: CpuCycles) {}
+
+    /// Pretrains internal models on the current twin population before
+    /// scored intervals begin. Default: no-op.
+    ///
+    /// # Errors
+    /// Propagates training errors.
+    fn pretrain(&mut self, _store: &UdtStore, _rounds: usize) -> Result<()> {
+        Ok(())
+    }
+}
+
+impl DemandPredictor for DtAssistedPredictor {
+    fn name(&self) -> &'static str {
+        if self.config().demand.assume_full_watch {
+            "naive-full-watch"
+        } else {
+            "dt-assisted"
+        }
+    }
+
+    fn predict(&mut self, ctx: &PredictionContext<'_>) -> Result<Prediction> {
+        let outcome = DtAssistedPredictor::predict(
+            self,
+            ctx.store,
+            ctx.catalog,
+            ctx.cache,
+            ctx.transcode,
+            ctx.link,
+        )?;
+        Ok(Prediction {
+            radio: outcome.total_radio(),
+            computing: outcome.total_computing(),
+            outcome: Some(outcome),
+        })
+    }
+
+    fn attach_telemetry(&mut self, telemetry: msvs_telemetry::Telemetry) {
+        DtAssistedPredictor::attach_telemetry(self, telemetry);
+    }
+
+    fn pretrain(&mut self, store: &UdtStore, rounds: usize) -> Result<()> {
+        self.pretrain_grouping(store, rounds)
+    }
+}
+
+impl DemandPredictor for HistoricalMeanPredictor {
+    fn name(&self) -> &'static str {
+        "historical-mean"
+    }
+
+    fn predict(&mut self, _ctx: &PredictionContext<'_>) -> Result<Prediction> {
+        let (radio, computing) = HistoricalMeanPredictor::predict(self)
+            .unwrap_or((ResourceBlocks::ZERO, CpuCycles::ZERO));
+        Ok(Prediction {
+            radio,
+            computing,
+            outcome: None,
+        })
+    }
+
+    fn observe_actual(&mut self, radio: ResourceBlocks, computing: CpuCycles) {
+        self.observe(radio, computing);
+    }
+}
+
+/// Scores one predictor while the DT pipeline still produces the grouping
+/// the simulator needs to play intervals out.
+///
+/// The simulation requires a [`PredictionOutcome`] (groups, recommended
+/// feeds) every interval regardless of which predictor's *totals* are
+/// being scored. `PipelineBacked` runs the full DT pipeline for the
+/// outcome, then reports the wrapped predictor's totals — exactly how the
+/// historical-mean baseline is evaluated in the paper's experiments.
+pub struct PipelineBacked<P> {
+    pipeline: DtAssistedPredictor,
+    scored: P,
+}
+
+impl<P: DemandPredictor> PipelineBacked<P> {
+    /// Wraps `scored` around the pipeline that produces groupings.
+    pub fn new(pipeline: DtAssistedPredictor, scored: P) -> Self {
+        Self { pipeline, scored }
+    }
+
+    /// The wrapped scored predictor.
+    pub fn scored(&self) -> &P {
+        &self.scored
+    }
+}
+
+impl<P: DemandPredictor> DemandPredictor for PipelineBacked<P> {
+    fn name(&self) -> &'static str {
+        self.scored.name()
+    }
+
+    fn predict(&mut self, ctx: &PredictionContext<'_>) -> Result<Prediction> {
+        let outcome = DtAssistedPredictor::predict(
+            &mut self.pipeline,
+            ctx.store,
+            ctx.catalog,
+            ctx.cache,
+            ctx.transcode,
+            ctx.link,
+        )?;
+        let scored = self.scored.predict(ctx)?;
+        Ok(Prediction {
+            radio: scored.radio,
+            computing: scored.computing,
+            outcome: Some(outcome),
+        })
+    }
+
+    fn attach_telemetry(&mut self, telemetry: msvs_telemetry::Telemetry) {
+        DtAssistedPredictor::attach_telemetry(&mut self.pipeline, telemetry.clone());
+        self.scored.attach_telemetry(telemetry);
+    }
+
+    fn observe_actual(&mut self, radio: ResourceBlocks, computing: CpuCycles) {
+        self.scored.observe_actual(radio, computing);
+    }
+
+    fn pretrain(&mut self, store: &UdtStore, rounds: usize) -> Result<()> {
+        self.pipeline.pretrain_grouping(store, rounds)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn historical_mean_predicts_zero_before_observations() {
+        let mut p = HistoricalMeanPredictor::new(0.5).unwrap();
+        assert_eq!(DemandPredictor::name(&p), "historical-mean");
+        // A context is unused by the EWMA; exercise via observe + the
+        // inherent predict to keep the test self-contained.
+        DemandPredictor::observe_actual(&mut p, ResourceBlocks(12.0), CpuCycles(3e9));
+        let (rb, cy) = HistoricalMeanPredictor::predict(&p).unwrap();
+        assert_eq!(rb.value(), 12.0);
+        assert_eq!(cy.value(), 3e9);
+    }
+
+    #[test]
+    fn dt_assisted_name_tracks_full_watch_flag() {
+        let dt = DtAssistedPredictor::new(crate::SchemeConfig::default()).unwrap();
+        assert_eq!(DemandPredictor::name(&dt), "dt-assisted");
+        let mut cfg = crate::SchemeConfig::default();
+        cfg.demand.assume_full_watch = true;
+        let naive = DtAssistedPredictor::new(cfg).unwrap();
+        assert_eq!(DemandPredictor::name(&naive), "naive-full-watch");
+    }
+}

@@ -85,6 +85,10 @@ pub struct SchemeConfig {
     pub per_bs_accounting: bool,
     /// Channel-condition estimator.
     pub snr_estimator: SnrEstimator,
+    /// Worker threads for the parallel pipeline stages (CNN encode and
+    /// K-means assignment): `1` = serial, `0` = all available cores.
+    /// Predictions are bit-identical at any thread count.
+    pub threads: usize,
 }
 
 impl Default for SchemeConfig {
@@ -99,6 +103,7 @@ impl Default for SchemeConfig {
             bs_positions: Vec::new(),
             per_bs_accounting: false,
             snr_estimator: SnrEstimator::default(),
+            threads: 1,
         }
     }
 }
@@ -156,7 +161,7 @@ pub struct DtAssistedPredictor {
     config: SchemeConfig,
     compressor: CnnCompressor,
     engine: GroupingEngine,
-    compressor_trained: bool,
+    pool: msvs_par::Pool,
     intervals_predicted: u64,
     telemetry: Option<msvs_telemetry::Telemetry>,
 }
@@ -167,14 +172,23 @@ impl DtAssistedPredictor {
     /// # Errors
     /// Propagates configuration errors from the compressor and grouping
     /// engine.
-    pub fn new(config: SchemeConfig) -> Result<Self> {
+    pub fn new(mut config: SchemeConfig) -> Result<Self> {
+        let pool = if config.threads == 1 {
+            msvs_par::Pool::serial()
+        } else {
+            msvs_par::Pool::new(config.threads)
+        };
+        // Grouping inherits the resolved thread count so K-means assignment
+        // parallelises alongside the CNN encode.
+        config.threads = pool.threads();
+        config.grouping.threads = pool.threads();
         let compressor = CnnCompressor::new(config.compressor)?;
         let engine = GroupingEngine::new(config.grouping.clone())?;
         Ok(Self {
             config,
             compressor,
             engine,
-            compressor_trained: false,
+            pool,
             intervals_predicted: 0,
             telemetry: None,
         })
@@ -208,9 +222,33 @@ impl DtAssistedPredictor {
         &mut self.engine
     }
 
-    /// Forces a compressor (re)training pass on the next prediction.
+    /// Forces a compressor (re)training pass on the next prediction by
+    /// thawing the frozen compressor.
     pub fn invalidate_compressor(&mut self) {
-        self.compressor_trained = false;
+        self.compressor.thaw();
+    }
+
+    /// Trains the compressor if it is not yet frozen, freezes it, then
+    /// encodes `windows` on the worker pool. Exports pool utilisation
+    /// gauges when telemetry is attached.
+    fn train_and_encode(&mut self, windows: &[msvs_udt::FeatureWindow]) -> Result<Vec<Vec<f64>>> {
+        if !self.compressor.is_frozen() {
+            let _train_timer = self.stage_timer(msvs_telemetry::stage::CNN_TRAIN);
+            self.compressor.train(windows)?;
+            self.compressor.freeze();
+        }
+        let forward_timer = self.stage_timer(msvs_telemetry::stage::CNN_FORWARD);
+        let (features, stats) = self.compressor.encode_with(windows, &self.pool)?;
+        drop(forward_timer);
+        if let Some(t) = &self.telemetry {
+            t.gauge("par_threads", msvs_telemetry::stage::CNN_FORWARD)
+                .set(stats.threads as f64);
+            t.gauge("par_utilisation", msvs_telemetry::stage::CNN_FORWARD)
+                .set(stats.utilisation());
+            t.gauge("par_speedup", msvs_telemetry::stage::CNN_FORWARD)
+                .set(stats.effective_parallelism());
+        }
+        Ok(features)
     }
 
     /// Pretrains the DDQN grouping agent on the current twin population:
@@ -238,14 +276,7 @@ impl DtAssistedPredictor {
                 )
             })
             .collect();
-        if !self.compressor_trained {
-            let _train_timer = self.stage_timer(msvs_telemetry::stage::CNN_TRAIN);
-            self.compressor.train(&windows)?;
-            self.compressor_trained = true;
-        }
-        let forward_timer = self.stage_timer(msvs_telemetry::stage::CNN_FORWARD);
-        let features = self.compressor.encode(&windows)?;
-        drop(forward_timer);
+        let features = self.train_and_encode(&windows)?;
         self.engine.pretrain(&[features], rounds)
     }
 
@@ -313,14 +344,7 @@ impl DtAssistedPredictor {
                 )
             })
             .collect();
-        if !self.compressor_trained {
-            let _train_timer = self.stage_timer(msvs_telemetry::stage::CNN_TRAIN);
-            self.compressor.train(&windows)?;
-            self.compressor_trained = true;
-        }
-        let forward_timer = self.stage_timer(msvs_telemetry::stage::CNN_FORWARD);
-        let features = self.compressor.encode(&windows)?;
-        drop(forward_timer);
+        let features = self.train_and_encode(&windows)?;
         let grouping = self.engine.construct(&features)?;
 
         let mut swiping = Vec::with_capacity(grouping.k);

@@ -14,9 +14,15 @@ use crate::tensor::Tensor;
 ///
 /// Call order is `forward` then `backward`; `backward` consumes state cached
 /// by the preceding `forward` call.
-pub trait Layer: Send {
+pub trait Layer: Send + Sync {
     /// Runs the layer on `input`, caching activations when `train` is true.
     fn forward(&mut self, input: &Tensor, train: bool) -> Tensor;
+
+    /// Inference-only forward pass through `&self`: no activation caching,
+    /// no interior mutation. Numerically identical to `forward(input, false)`
+    /// for every layer, which lets many threads share one frozen network —
+    /// the contract the parallel encode path in `msvs-core` relies on.
+    fn infer(&self, input: &Tensor) -> Tensor;
 
     /// Backpropagates `grad_out`, accumulating parameter gradients and
     /// returning the gradient with respect to the layer input.
@@ -91,10 +97,8 @@ impl Dense {
     pub fn out_dim(&self) -> usize {
         self.weight.shape()[0]
     }
-}
 
-impl Layer for Dense {
-    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+    fn compute(&self, input: &Tensor) -> Tensor {
         assert_eq!(input.shape().len(), 2, "dense expects [batch, features]");
         assert_eq!(
             input.shape()[1],
@@ -110,10 +114,20 @@ impl Layer for Dense {
                 with_bias.set2(b, o, v);
             }
         }
+        with_bias
+    }
+}
+
+impl Layer for Dense {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
         if train {
             self.input = Some(input.clone());
         }
-        with_bias
+        self.compute(input)
+    }
+
+    fn infer(&self, input: &Tensor) -> Tensor {
+        self.compute(input)
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
@@ -199,10 +213,8 @@ impl Conv1d {
         let s = self.weight.shape();
         (s[0], s[1], s[2])
     }
-}
 
-impl Layer for Conv1d {
-    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+    fn compute(&self, input: &Tensor) -> Tensor {
         assert_eq!(input.shape().len(), 3, "conv1d expects [batch, ch, len]");
         let (out_ch, in_ch, kernel) = self.dims();
         assert_eq!(input.shape()[1], in_ch, "conv1d channel mismatch");
@@ -226,10 +238,20 @@ impl Layer for Conv1d {
                 }
             }
         }
+        out
+    }
+}
+
+impl Layer for Conv1d {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
         if train {
             self.input = Some(input.clone());
         }
-        out
+        self.compute(input)
+    }
+
+    fn infer(&self, input: &Tensor) -> Tensor {
+        self.compute(input)
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
@@ -314,6 +336,16 @@ impl Layer for Relu {
         out
     }
 
+    fn infer(&self, input: &Tensor) -> Tensor {
+        let mut out = input.clone();
+        for v in out.data_mut() {
+            if *v <= 0.0 {
+                *v = 0.0;
+            }
+        }
+        out
+    }
+
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
         let mask = self
             .mask
@@ -358,6 +390,14 @@ impl Layer for Tanh {
         }
         if train {
             self.output = Some(out.clone());
+        }
+        out
+    }
+
+    fn infer(&self, input: &Tensor) -> Tensor {
+        let mut out = input.clone();
+        for v in out.data_mut() {
+            *v = v.tanh();
         }
         out
     }
@@ -440,6 +480,27 @@ impl Layer for MaxPool1d {
         out
     }
 
+    fn infer(&self, input: &Tensor) -> Tensor {
+        assert_eq!(input.shape().len(), 3, "maxpool expects [batch, ch, len]");
+        let (batch, ch, in_len) = (input.shape()[0], input.shape()[1], input.shape()[2]);
+        let out_len = self.out_len(in_len);
+        assert!(out_len > 0, "input length {in_len} shorter than window");
+        let mut out = Tensor::zeros(vec![batch, ch, out_len]);
+        for b in 0..batch {
+            for c in 0..ch {
+                for t in 0..out_len {
+                    let start = t * self.window;
+                    let mut best = input.get3(b, c, start);
+                    for k in 1..self.window {
+                        best = best.max(input.get3(b, c, start + k));
+                    }
+                    out.set3(b, c, t, best);
+                }
+            }
+        }
+        out
+    }
+
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
         let (in_shape, indices) = self
             .argmax
@@ -492,6 +553,15 @@ impl Layer for Flatten {
         if train {
             self.in_shape = Some(input.shape().to_vec());
         }
+        input
+            .clone()
+            .reshape(vec![batch, rest])
+            .expect("flatten preserves element count")
+    }
+
+    fn infer(&self, input: &Tensor) -> Tensor {
+        let batch = input.shape()[0];
+        let rest: usize = input.shape()[1..].iter().product();
         input
             .clone()
             .reshape(vec![batch, rest])
@@ -699,12 +769,8 @@ impl DuelingHead {
     pub fn actions(&self) -> usize {
         self.advantage.out_dim()
     }
-}
 
-impl Layer for DuelingHead {
-    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
-        let v = self.value.forward(input, train);
-        let a = self.advantage.forward(input, train);
+    fn combine(v: &Tensor, a: &Tensor) -> Tensor {
         let (batch, actions) = (a.shape()[0], a.shape()[1]);
         let mut q = Tensor::zeros(vec![batch, actions]);
         for b in 0..batch {
@@ -714,6 +780,20 @@ impl Layer for DuelingHead {
             }
         }
         q
+    }
+}
+
+impl Layer for DuelingHead {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let v = self.value.forward(input, train);
+        let a = self.advantage.forward(input, train);
+        Self::combine(&v, &a)
+    }
+
+    fn infer(&self, input: &Tensor) -> Tensor {
+        let v = self.value.infer(input);
+        let a = self.advantage.infer(input);
+        Self::combine(&v, &a)
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {

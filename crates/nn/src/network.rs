@@ -60,6 +60,17 @@ impl Sequential {
         x
     }
 
+    /// Inference-only forward pass through `&self`. Numerically identical to
+    /// `forward(input, false)` but never touches layer caches, so a frozen
+    /// network can be shared across threads (`Sequential: Sync`).
+    pub fn infer(&self, input: &Tensor) -> Tensor {
+        let mut x = input.clone();
+        for layer in &self.layers {
+            x = layer.infer(&x);
+        }
+        x
+    }
+
     /// Backpropagates the loss gradient, accumulating parameter gradients.
     ///
     /// # Panics
@@ -205,6 +216,34 @@ mod tests {
         let a = tiny_net(1);
         let mut b = Sequential::new(vec![Box::new(Dense::new(3, 1, 0))]);
         b.copy_params_from(&a);
+    }
+
+    #[test]
+    fn infer_matches_eval_forward() {
+        let mut net = tiny_net(7);
+        let x = Tensor::from_vec(vec![0.4, -1.2, 0.0, 2.5], vec![2, 2]).unwrap();
+        let via_forward = net.forward(&x, false);
+        let via_infer = net.infer(&x);
+        assert_eq!(via_forward.data(), via_infer.data());
+        assert_eq!(via_forward.shape(), via_infer.shape());
+    }
+
+    #[test]
+    fn infer_is_shareable_across_threads() {
+        let net = tiny_net(7);
+        let x = Tensor::from_vec(vec![0.4, -1.2], vec![1, 2]).unwrap();
+        let expected = net.infer(&x);
+        let outputs: Vec<Tensor> = std::thread::scope(|s| {
+            (0..4)
+                .map(|_| s.spawn(|| net.infer(&x)))
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect()
+        });
+        for y in outputs {
+            assert_eq!(y.data(), expected.data());
+        }
     }
 
     #[test]

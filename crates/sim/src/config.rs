@@ -1,11 +1,25 @@
 //! Simulation configuration.
 
 use msvs_channel::LinkConfig;
-use msvs_core::SchemeConfig;
+use msvs_core::{
+    DemandPredictor, DtAssistedPredictor, HistoricalMeanPredictor, PipelineBacked, SchemeConfig,
+};
 use msvs_edge::EdgeConfig;
 use msvs_types::{Error, Result, SimDuration};
 use msvs_udt::CollectionPolicy;
 use msvs_video::{CatalogConfig, EngagementModel};
+
+/// Environment variable that overrides the default worker-thread count
+/// (`0` = all available cores). Lets CI exercise the parallel path across
+/// the whole test suite without touching each test's config.
+pub const THREADS_ENV: &str = "MSVS_THREADS";
+
+fn default_threads() -> usize {
+    std::env::var(THREADS_ENV)
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(0)
+}
 
 /// Population shares of the three mobility models.
 ///
@@ -82,6 +96,31 @@ pub enum DemandPredictorKind {
     },
 }
 
+impl DemandPredictorKind {
+    /// Builds the predictor this kind names, around `scheme`.
+    ///
+    /// Grouping and playback always need the DT pipeline's
+    /// [`msvs_core::PredictionOutcome`], so scalar predictors come wrapped
+    /// in [`PipelineBacked`].
+    ///
+    /// # Errors
+    /// Propagates configuration errors from the underlying predictors.
+    pub fn build(&self, mut scheme: SchemeConfig) -> Result<Box<dyn DemandPredictor>> {
+        match *self {
+            DemandPredictorKind::Scheme => Ok(Box::new(DtAssistedPredictor::new(scheme)?)),
+            DemandPredictorKind::NaiveFullWatch => {
+                scheme.demand.assume_full_watch = true;
+                Ok(Box::new(DtAssistedPredictor::new(scheme)?))
+            }
+            DemandPredictorKind::HistoricalMean { alpha } => {
+                let pipeline = DtAssistedPredictor::new(scheme)?;
+                let scored = HistoricalMeanPredictor::new(alpha)?;
+                Ok(Box::new(PipelineBacked::new(pipeline, scored)))
+            }
+        }
+    }
+}
+
 /// Full simulation parameters.
 #[derive(Debug, Clone)]
 pub struct SimulationConfig {
@@ -133,6 +172,11 @@ pub struct SimulationConfig {
     pub link: LinkConfig,
     /// Edge server parameters.
     pub edge: EdgeConfig,
+    /// Worker threads for the parallel hot paths (per-user collection,
+    /// CNN encode, K-means assignment): `1` = serial, `0` = all available
+    /// cores. Defaults to the `MSVS_THREADS` environment variable, or `0`.
+    /// Seeded runs produce bit-identical reports at any thread count.
+    pub threads: usize,
     /// Master RNG seed.
     pub seed: u64,
 }
@@ -167,6 +211,7 @@ impl Default for SimulationConfig {
                 cache_capacity_mb: 30_000.0,
                 ..EdgeConfig::default()
             },
+            threads: default_threads(),
             seed: 0,
         }
     }
@@ -224,7 +269,140 @@ impl SimulationConfig {
                 "must match the simulation interval",
             ));
         }
+        if self.threads > 1024 {
+            return Err(Error::invalid_config(
+                "threads",
+                "must be at most 1024 (0 = all available cores)",
+            ));
+        }
         Ok(())
+    }
+
+    /// Starts a validating builder seeded with the defaults.
+    ///
+    /// ```
+    /// use msvs_sim::SimulationConfig;
+    /// let config = SimulationConfig::builder()
+    ///     .users(50)
+    ///     .threads(2)
+    ///     .seed(7)
+    ///     .build()
+    ///     .unwrap();
+    /// assert_eq!(config.n_users, 50);
+    /// assert!(SimulationConfig::builder().users(0).build().is_err());
+    /// ```
+    pub fn builder() -> SimulationConfigBuilder {
+        SimulationConfigBuilder::default()
+    }
+}
+
+/// Validating builder for [`SimulationConfig`].
+///
+/// Every setter is infallible; [`build`](Self::build) keeps the derived
+/// invariants (the scheme's demand interval always matches the simulation
+/// interval) and then validates the whole configuration, returning
+/// [`Error::InvalidConfig`] for the first violated constraint.
+#[derive(Debug, Clone, Default)]
+pub struct SimulationConfigBuilder {
+    config: SimulationConfig,
+}
+
+impl SimulationConfigBuilder {
+    /// Number of streaming users.
+    pub fn users(mut self, n: usize) -> Self {
+        self.config.n_users = n;
+        self
+    }
+
+    /// Number of base stations.
+    pub fn base_stations(mut self, n: usize) -> Self {
+        self.config.n_bs = n;
+        self
+    }
+
+    /// Reservation interval length.
+    pub fn interval(mut self, interval: SimDuration) -> Self {
+        self.config.interval = interval;
+        self
+    }
+
+    /// Number of scored intervals.
+    pub fn intervals(mut self, n: usize) -> Self {
+        self.config.n_intervals = n;
+        self
+    }
+
+    /// Unscored warm-up intervals.
+    pub fn warmup_intervals(mut self, n: usize) -> Self {
+        self.config.warmup_intervals = n;
+        self
+    }
+
+    /// Status-collection tick.
+    pub fn tick(mut self, tick: SimDuration) -> Self {
+        self.config.tick = tick;
+        self
+    }
+
+    /// Worker threads (`1` = serial, `0` = all available cores).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.config.threads = threads;
+        self
+    }
+
+    /// The scored predictor.
+    pub fn predictor(mut self, predictor: DemandPredictorKind) -> Self {
+        self.config.predictor = predictor;
+        self
+    }
+
+    /// The scheme configuration under test.
+    pub fn scheme(mut self, scheme: SchemeConfig) -> Self {
+        self.config.scheme = scheme;
+        self
+    }
+
+    /// DDQN pretraining rounds at the end of warm-up.
+    pub fn pretrain_rounds(mut self, rounds: usize) -> Self {
+        self.config.pretrain_rounds = rounds;
+        self
+    }
+
+    /// Per-interval churn rate in `[0, 1]`.
+    pub fn churn_rate(mut self, rate: f64) -> Self {
+        self.config.churn_rate = rate;
+        self
+    }
+
+    /// Optional reservation policy to plan and score.
+    pub fn reservation(mut self, policy: msvs_core::ReservationPolicy) -> Self {
+        self.config.reservation = Some(policy);
+        self
+    }
+
+    /// Per-BS radio accounting extension mode.
+    pub fn per_bs_accounting(mut self, enabled: bool) -> Self {
+        self.config.per_bs_accounting = enabled;
+        self
+    }
+
+    /// Master RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Finishes the build, syncing derived fields and validating.
+    ///
+    /// # Errors
+    /// Returns [`Error::InvalidConfig`] for the first violated constraint.
+    pub fn build(mut self) -> Result<SimulationConfig> {
+        // The demand model spreads predictions over the reservation
+        // interval; keep the two clocks in lockstep so the builder can't
+        // produce the mismatch `validate` would reject.
+        self.config.scheme.demand.interval = self.config.interval;
+        self.config.validate()?;
+        Ok(self.config)
     }
 }
 
@@ -262,5 +440,41 @@ mod tests {
             ..Default::default()
         };
         assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn builder_produces_validated_config() {
+        let config = SimulationConfig::builder()
+            .users(48)
+            .base_stations(2)
+            .intervals(3)
+            .warmup_intervals(1)
+            .interval(SimDuration::from_mins(2))
+            .tick(SimDuration::from_secs(10))
+            .threads(4)
+            .churn_rate(0.1)
+            .seed(99)
+            .build()
+            .unwrap();
+        assert_eq!(config.n_users, 48);
+        assert_eq!(config.threads, 4);
+        // The builder keeps the demand interval in lockstep.
+        assert_eq!(config.scheme.demand.interval, SimDuration::from_mins(2));
+    }
+
+    #[test]
+    fn builder_rejects_out_of_range_values() {
+        let err = SimulationConfig::builder().users(0).build().unwrap_err();
+        assert!(matches!(err, Error::InvalidConfig { .. }));
+        assert!(SimulationConfig::builder().churn_rate(1.5).build().is_err());
+        assert!(SimulationConfig::builder()
+            .tick(SimDuration::from_mins(30))
+            .build()
+            .is_err());
+        assert!(SimulationConfig::builder().threads(4096).build().is_err());
+        assert!(SimulationConfig::builder()
+            .predictor(DemandPredictorKind::HistoricalMean { alpha: 0.0 })
+            .build()
+            .is_err());
     }
 }

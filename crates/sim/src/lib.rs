@@ -27,7 +27,9 @@ pub mod metrics;
 pub mod report;
 pub mod runner;
 
-pub use config::{DemandPredictorKind, MobilityMix, SimulationConfig};
+pub use config::{
+    DemandPredictorKind, MobilityMix, SimulationConfig, SimulationConfigBuilder, THREADS_ENV,
+};
 pub use metrics::{IntervalRecord, SimulationReport};
 pub use report::{format_table, to_csv};
 pub use runner::Simulation;

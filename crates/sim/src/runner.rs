@@ -2,17 +2,20 @@
 
 use msvs_channel::Link;
 use msvs_core::demand::prediction_accuracy;
-use msvs_core::{DtAssistedPredictor, HistoricalMeanPredictor, PredictionOutcome};
+use msvs_core::{DemandPredictor, PredictionContext, PredictionOutcome};
 use msvs_edge::EdgeServer;
 use msvs_mobility::{CampusMap, MobilityModel, RandomWaypoint};
+use msvs_par::Pool;
 use msvs_telemetry::{stage, Event, Telemetry};
-use msvs_types::{CpuCycles, Position, ResourceBlocks, Result, SimDuration, SimTime, UserId};
+use msvs_types::{
+    CpuCycles, Error, Position, ResourceBlocks, Result, SimDuration, SimTime, UserId,
+};
 use msvs_udt::{SyncTracker, UdtStore, UserDigitalTwin, WatchRecord};
 use msvs_video::{Catalog, UserProfile};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use crate::config::{DemandPredictorKind, SimulationConfig};
+use crate::config::SimulationConfig;
 use crate::metrics::{IntervalRecord, SimulationReport};
 
 /// Ground-truth state of one simulated user.
@@ -84,8 +87,8 @@ pub struct Simulation {
     link: Link,
     edge: EdgeServer,
     store: UdtStore,
-    predictor: DtAssistedPredictor,
-    historical: HistoricalMeanPredictor,
+    predictor: Box<dyn DemandPredictor>,
+    pool: Pool,
     now: SimTime,
     intervals_run: usize,
     updates_sent_before: u64,
@@ -109,23 +112,47 @@ impl std::fmt::Debug for Simulation {
 
 impl Simulation {
     /// Builds the campus scenario: map, BS grid, users with ground-truth
-    /// profiles and mobility, twins registered in the store.
+    /// profiles and mobility, twins registered in the store. The scored
+    /// predictor is constructed from `config.predictor` via
+    /// [`crate::DemandPredictorKind::build`].
     ///
     /// # Errors
     /// Propagates configuration and generation errors.
     pub fn new(mut config: SimulationConfig) -> Result<Self> {
         config.validate()?;
-        if config.predictor == DemandPredictorKind::NaiveFullWatch {
-            config.scheme.demand.assume_full_watch = true;
-        }
-        let map = CampusMap::waterloo();
-        let bs_positions = bs_grid(&map, config.n_bs);
-        // The scheme always knows the BS layout (its SNR extrapolator needs
-        // it); per-BS radio accounting stays an explicit extension mode.
-        config.scheme.bs_positions = bs_positions.clone();
-        config.scheme.per_bs_accounting = config.per_bs_accounting;
-        config.scheme.map_width = map.width();
-        config.scheme.map_height = map.height();
+        let (map, bs_positions, pool) = resolve_scenario(&mut config);
+        let predictor = config.predictor.build(config.scheme.clone())?;
+        Self::assemble(config, map, bs_positions, pool, predictor)
+    }
+
+    /// Builds the scenario around a caller-supplied predictor, bypassing
+    /// the [`crate::DemandPredictorKind`] factory. This is the plug-in
+    /// point for custom [`DemandPredictor`] implementations; the
+    /// `config.predictor` field is ignored.
+    ///
+    /// The predictor must produce a [`PredictionOutcome`] from every
+    /// `predict` call (wrap scalar predictors in
+    /// [`msvs_core::PipelineBacked`]) — the simulator needs the grouping to
+    /// play intervals out.
+    ///
+    /// # Errors
+    /// Propagates configuration and generation errors.
+    pub fn with_predictor(
+        mut config: SimulationConfig,
+        predictor: Box<dyn DemandPredictor>,
+    ) -> Result<Self> {
+        config.validate()?;
+        let (map, bs_positions, pool) = resolve_scenario(&mut config);
+        Self::assemble(config, map, bs_positions, pool, predictor)
+    }
+
+    fn assemble(
+        config: SimulationConfig,
+        map: CampusMap,
+        bs_positions: Vec<Position>,
+        pool: Pool,
+        mut predictor: Box<dyn DemandPredictor>,
+    ) -> Result<Self> {
         let catalog = Catalog::generate(config.catalog)?;
         let mut edge = EdgeServer::new(config.edge, &catalog);
         let link = Link::new(config.link);
@@ -151,16 +178,11 @@ impl Simulation {
                 interval_snrs: Vec::new(),
             });
         }
-        let mut predictor = DtAssistedPredictor::new(config.scheme.clone())?;
-        let historical = HistoricalMeanPredictor::new(match config.predictor {
-            DemandPredictorKind::HistoricalMean { alpha } => alpha,
-            _ => 0.3,
-        })?;
         let telemetry = Telemetry::new();
         predictor.attach_telemetry(telemetry.clone());
         edge.attach_telemetry(telemetry.clone());
         telemetry.emit(Event::RunStarted {
-            scheme: predictor_label(config.predictor).to_string(),
+            scheme: predictor.name().to_string(),
             seed: config.seed,
         });
         let churn_rng = StdRng::seed_from_u64(config.seed ^ 0xC0FF_EE00);
@@ -174,7 +196,7 @@ impl Simulation {
             edge,
             store,
             predictor,
-            historical,
+            pool,
             now: SimTime::ZERO,
             intervals_run: 0,
             updates_sent_before: 0,
@@ -190,6 +212,16 @@ impl Simulation {
     /// Simulation clock.
     pub fn now(&self) -> SimTime {
         self.now
+    }
+
+    /// Name of the scored predictor (run manifests, journals).
+    pub fn predictor_name(&self) -> &'static str {
+        self.predictor.name()
+    }
+
+    /// Resolved worker-thread count (after `0` → all available cores).
+    pub fn threads(&self) -> usize {
+        self.pool.threads()
     }
 
     /// The twin store (inspection).
@@ -249,7 +281,7 @@ impl Simulation {
         }
         if self.config.pretrain_rounds > 0 {
             self.predictor
-                .pretrain_grouping(&self.store, self.config.pretrain_rounds)?;
+                .pretrain(&self.store, self.config.pretrain_rounds)?;
         }
         Ok(())
     }
@@ -310,8 +342,9 @@ impl Simulation {
 
     /// Collection phase: advance mobility tick by tick across the
     /// interval, sampling ground-truth SNR and pushing due attributes into
-    /// the twins (per the collection policy). Mobility advancement is
-    /// fanned out across scoped threads.
+    /// the twins (per the collection policy). Per-user simulation is
+    /// fanned out across the worker pool; each user carries an independent
+    /// RNG stream, so the result is bit-identical at any thread count.
     fn collect_phase(&mut self) {
         let interval = self.config.interval;
         let tick = self.config.tick;
@@ -324,47 +357,47 @@ impl Simulation {
         let policy = &self.config.collection;
         let store = &self.store;
         let start = self.now;
+        let pool = self.pool;
         // Parallel per-user simulation of the whole interval's collection.
         let ingest_timer = self.telemetry.stage_timer(stage::UDT_INGEST);
-        let n_threads = 4usize;
-        let chunk = self.users.len().div_ceil(n_threads).max(1);
-        std::thread::scope(|scope| {
-            for users in self.users.chunks_mut(chunk) {
-                scope.spawn(move || {
-                    for user in users {
-                        let mut t = start;
-                        for _ in 0..steps {
-                            t += tick;
-                            let pos = user.mobility.advance(tick);
-                            let dist = nearest_bs_distance(pos, bs);
-                            let snr = link.sample_snr_db(&mut user.rng, dist);
-                            user.interval_snrs.push(snr);
-                            if user.tracker.channel_due(policy, t) {
-                                store
-                                    .update_channel(user.id, t, snr)
-                                    .expect("user twin registered at construction");
-                                user.tracker.mark_channel(t);
-                            }
-                            if user.tracker.location_due(policy, t) {
-                                store
-                                    .update_location(user.id, t, pos)
-                                    .expect("user twin registered at construction");
-                                user.tracker.mark_location(t);
-                            }
-                            if user.tracker.preference_due(policy, t) {
-                                store
-                                    .with_twin_mut(user.id, |twin| {
-                                        twin.refresh_preference_from_watches(t, 0.4)
-                                    })
-                                    .expect("user twin registered at construction");
-                                user.tracker.mark_preference(t);
-                            }
-                        }
-                    }
-                });
+        let stats = pool.for_each_mut(&mut self.users, |_, user| {
+            let mut t = start;
+            for _ in 0..steps {
+                t += tick;
+                let pos = user.mobility.advance(tick);
+                let dist = nearest_bs_distance(pos, bs);
+                let snr = link.sample_snr_db(&mut user.rng, dist);
+                user.interval_snrs.push(snr);
+                if user.tracker.channel_due(policy, t) {
+                    store
+                        .update_channel(user.id, t, snr)
+                        .expect("user twin registered at construction");
+                    user.tracker.mark_channel(t);
+                }
+                if user.tracker.location_due(policy, t) {
+                    store
+                        .update_location(user.id, t, pos)
+                        .expect("user twin registered at construction");
+                    user.tracker.mark_location(t);
+                }
+                if user.tracker.preference_due(policy, t) {
+                    store
+                        .with_twin_mut(user.id, |twin| twin.refresh_preference_from_watches(t, 0.4))
+                        .expect("user twin registered at construction");
+                    user.tracker.mark_preference(t);
+                }
             }
         });
         drop(ingest_timer);
+        self.telemetry
+            .gauge("par_threads", stage::UDT_INGEST)
+            .set(stats.threads as f64);
+        self.telemetry
+            .gauge("par_utilisation", stage::UDT_INGEST)
+            .set(stats.utilisation());
+        self.telemetry
+            .gauge("par_speedup", stage::UDT_INGEST)
+            .set(stats.effective_parallelism());
         self.now = start + tick * steps;
         self.telemetry.set_now_ms(self.now.as_millis());
         self.telemetry.emit(Event::CollectionCompleted {
@@ -379,25 +412,25 @@ impl Simulation {
         let scored = index != usize::MAX;
         let interval_timer = self.telemetry.stage_timer(stage::INTERVAL);
         let predict_timer = self.telemetry.stage_timer(stage::SCHEME_PREDICT);
-        let outcome = self.predictor.predict(
-            &self.store,
-            &self.catalog,
-            self.edge.cache(),
-            &TRANSCODE,
-            &self.link,
-        )?;
-        let predict_wall_ms = predict_timer.stop();
-
-        // Predicted totals according to the configured predictor kind.
-        let (predicted_radio, predicted_computing) = match self.config.predictor {
-            DemandPredictorKind::Scheme | DemandPredictorKind::NaiveFullWatch => {
-                (outcome.total_radio(), outcome.total_computing())
-            }
-            DemandPredictorKind::HistoricalMean { .. } => self
-                .historical
-                .predict()
-                .unwrap_or((ResourceBlocks::ZERO, CpuCycles::ZERO)),
+        let ctx = PredictionContext {
+            store: &self.store,
+            catalog: &self.catalog,
+            cache: self.edge.cache(),
+            transcode: &TRANSCODE,
+            link: &self.link,
         };
+        let prediction = self.predictor.predict(&ctx)?;
+        let predict_wall_ms = predict_timer.stop();
+        // Playback needs the grouping regardless of whose totals are
+        // scored; predictors without a pipeline must be PipelineBacked.
+        let outcome = prediction.outcome.ok_or_else(|| {
+            Error::invalid_config(
+                "predictor",
+                "simulation predictors must produce a pipeline outcome \
+                 (wrap scalar predictors in msvs_core::PipelineBacked)",
+            )
+        })?;
+        let (predicted_radio, predicted_computing) = (prediction.radio, prediction.computing);
 
         // The plan follows whichever predictor is being scored: group
         // shares come from the scheme's outcome, but totals are rescaled
@@ -442,8 +475,8 @@ impl Simulation {
         let playback_timer = self.telemetry.stage_timer(stage::PLAYBACK);
         let actual = self.playback_phase(&outcome);
         let playback_wall_ms = playback_timer.stop();
-        self.historical
-            .observe(ResourceBlocks(actual.radio), CpuCycles(actual.computing));
+        self.predictor
+            .observe_actual(ResourceBlocks(actual.radio), CpuCycles(actual.computing));
         let reservation = reservation_plan.map(|plan| {
             let reserved_rb = plan.total_radio().value();
             let scoring = msvs_core::score_reservation(
@@ -714,13 +747,26 @@ impl Simulation {
     }
 }
 
-/// Human-readable name of the scored predictor (run manifests, journals).
-fn predictor_label(kind: DemandPredictorKind) -> &'static str {
-    match kind {
-        DemandPredictorKind::Scheme => "dt-assisted",
-        DemandPredictorKind::NaiveFullWatch => "naive-full-watch",
-        DemandPredictorKind::HistoricalMean { .. } => "historical-mean",
-    }
+/// Stamps the derived scheme fields (BS layout, map dims, accounting mode,
+/// thread count) into `config` and resolves the worker pool. Must run
+/// before the predictor is built so the scheme sees the final values.
+fn resolve_scenario(config: &mut SimulationConfig) -> (CampusMap, Vec<Position>, Pool) {
+    let map = CampusMap::waterloo();
+    let bs_positions = bs_grid(&map, config.n_bs);
+    // The scheme always knows the BS layout (its SNR extrapolator needs
+    // it); per-BS radio accounting stays an explicit extension mode.
+    config.scheme.bs_positions = bs_positions.clone();
+    config.scheme.per_bs_accounting = config.per_bs_accounting;
+    config.scheme.map_width = map.width();
+    config.scheme.map_height = map.height();
+    let pool = if config.threads == 1 {
+        Pool::serial()
+    } else {
+        Pool::new(config.threads)
+    };
+    config.threads = pool.threads();
+    config.scheme.threads = pool.threads();
+    (map, bs_positions, pool)
 }
 
 /// Average actual bitrate of `video` at `level`, Mbps.
@@ -764,6 +810,7 @@ static TRANSCODE: msvs_edge::TranscodeModel = msvs_edge::TranscodeModel {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::DemandPredictorKind;
     use msvs_core::{CompressorConfig, GroupingConfig, SchemeConfig};
 
     fn small_config(seed: u64) -> SimulationConfig {

@@ -2,8 +2,8 @@
 //!
 //! ```text
 //! msvs run [--users N] [--intervals N] [--seed S] [--churn F]
-//!          [--per-bs] [--predictor scheme|naive|ewma] [--csv PATH]
-//!          [--journal PATH]
+//!          [--per-bs] [--predictor scheme|naive|ewma] [--threads N]
+//!          [--csv PATH] [--journal PATH]
 //! msvs report <journal.jsonl>
 //! msvs swiping [--users N] [--seed S]
 //! msvs reserve [--headroom F] [--users N] [--seed S]
@@ -47,8 +47,8 @@ fn print_help() {
          \n\
          USAGE:\n\
          \x20 msvs run     [--users N] [--intervals N] [--seed S] [--churn F]\n\
-         \x20              [--per-bs] [--predictor scheme|naive|ewma] [--csv PATH]\n\
-         \x20              [--journal PATH]\n\
+         \x20              [--per-bs] [--predictor scheme|naive|ewma] [--threads N]\n\
+         \x20              [--csv PATH] [--journal PATH]\n\
          \x20 msvs report  <journal.jsonl>             summarise a run's journal\n\
          \x20 msvs swiping [--users N] [--seed S]      print a group's swipe curves\n\
          \x20 msvs reserve [--headroom F] [--users N] [--seed S]\n\
@@ -56,6 +56,9 @@ fn print_help() {
          \n\
          `run` simulates the campus scenario and prints the per-interval\n\
          predicted-vs-actual scorecard (Fig. 3(b) of the paper).\n\
+         `--threads N` sizes the worker pool for the parallel hot paths\n\
+         (0 = all cores; default from MSVS_THREADS, else all cores).\n\
+         Seeded runs are bit-identical at any thread count.\n\
          `--journal` writes the telemetry event journal as JSONL (plus a\n\
          run manifest next to it); `report` pretty-prints such a journal."
     );
@@ -94,22 +97,24 @@ impl<'a> Flags<'a> {
 }
 
 fn base_config(flags: &Flags<'_>) -> Result<SimulationConfig, String> {
-    let mut cfg = SimulationConfig {
-        n_users: flags.parse("--users", 120usize)?,
-        n_intervals: flags.parse("--intervals", 12usize)?,
-        seed: flags.parse("--seed", 42u64)?,
-        churn_rate: flags.parse("--churn", 0.0f64)?,
-        per_bs_accounting: flags.has("--per-bs"),
-        ..Default::default()
-    };
-    cfg.predictor = match flags.value("--predictor").unwrap_or("scheme") {
+    let predictor = match flags.value("--predictor").unwrap_or("scheme") {
         "scheme" => DemandPredictorKind::Scheme,
         "naive" => DemandPredictorKind::NaiveFullWatch,
         "ewma" => DemandPredictorKind::HistoricalMean { alpha: 0.3 },
         other => return Err(format!("unknown predictor `{other}`")),
     };
-    cfg.validate().map_err(|e| e.to_string())?;
-    Ok(cfg)
+    let mut builder = SimulationConfig::builder()
+        .users(flags.parse("--users", 120usize)?)
+        .intervals(flags.parse("--intervals", 12usize)?)
+        .seed(flags.parse("--seed", 42u64)?)
+        .churn_rate(flags.parse("--churn", 0.0f64)?)
+        .per_bs_accounting(flags.has("--per-bs"))
+        .predictor(predictor);
+    // Absent flag: keep the default (MSVS_THREADS env var, or all cores).
+    if flags.value("--threads").is_some() {
+        builder = builder.threads(flags.parse("--threads", 0usize)?);
+    }
+    builder.build().map_err(|e| e.to_string())
 }
 
 fn cmd_run(args: &[String]) -> Result<(), String> {
@@ -145,14 +150,10 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     }
     if let Some(path) = flags.value("--journal") {
         std::fs::write(path, sim.telemetry().journal().to_jsonl()).map_err(|e| e.to_string())?;
-        let scheme = match flags.value("--predictor").unwrap_or("scheme") {
-            "naive" => "naive-full-watch",
-            "ewma" => "historical-mean",
-            _ => "dt-assisted",
-        };
-        let mut manifest = RunManifest::new(scheme, seed)
+        let mut manifest = RunManifest::new(sim.predictor_name(), seed)
             .with_config("users", n_users)
-            .with_config("intervals", n_intervals);
+            .with_config("intervals", n_intervals)
+            .with_config("threads", sim.threads());
         for s in &result.telemetry.stages {
             manifest.add_stage_wall_ms(&s.stage, s.mean_ms * s.count as f64);
         }
@@ -365,6 +366,15 @@ mod tests {
     fn base_config_validates() {
         // One user cannot satisfy k_min.
         let raw = args(&["--users", "1"]);
+        assert!(base_config(&Flags::new(&raw).unwrap()).is_err());
+    }
+
+    #[test]
+    fn base_config_accepts_threads_flag() {
+        let raw = args(&["--threads", "2"]);
+        let cfg = base_config(&Flags::new(&raw).unwrap()).unwrap();
+        assert_eq!(cfg.threads, 2);
+        let raw = args(&["--threads", "many"]);
         assert!(base_config(&Flags::new(&raw).unwrap()).is_err());
     }
 }

@@ -41,6 +41,9 @@
 /// Shared identifiers, units and samplers ([`msvs_types`]).
 pub use msvs_types as types;
 
+/// Zero-dependency scoped worker pool (deterministic parallel execution).
+pub use msvs_par as par;
+
 /// Neural-network substrate ([`msvs_nn`]).
 pub use msvs_nn as nn;
 
