@@ -173,9 +173,11 @@ impl KMeans {
                         .iter()
                         .enumerate()
                         .max_by(|(_, a), (_, b)| {
+                            // total_cmp tolerates non-finite distances
+                            // (degenerate inputs) instead of panicking;
+                            // identical ordering for finite values.
                             sq_dist(a, &centroids[assignments[0]])
-                                .partial_cmp(&sq_dist(b, &centroids[assignments[0]]))
-                                .expect("finite distances")
+                                .total_cmp(&sq_dist(b, &centroids[assignments[0]]))
                         })
                         .map(|(i, _)| i)
                         .unwrap_or_else(|| rng.gen_range(0..points.len()));

@@ -9,8 +9,10 @@ use msvs_udt::FeatureWindow;
 /// tensor for the 1D-CNN.
 ///
 /// # Errors
-/// Returns [`Error::InsufficientData`] for an empty batch and
-/// [`Error::ShapeMismatch`] when windows disagree in shape.
+/// Returns [`Error::InsufficientData`] for an empty batch,
+/// [`Error::ShapeMismatch`] when windows disagree in shape, and
+/// [`Error::ShapeMismatch`] when any value is non-finite — a single NaN
+/// fed forward would poison every embedding in the batch.
 pub fn windows_to_tensor(windows: &[FeatureWindow]) -> Result<Tensor> {
     let first = windows
         .first()
@@ -29,6 +31,12 @@ pub fn windows_to_tensor(windows: &[FeatureWindow]) -> Result<Tensor> {
             ));
         }
         for ch in &w.series {
+            if ch.iter().any(|v| !v.is_finite()) {
+                return Err(Error::shape(
+                    "finite feature values".to_string(),
+                    "non-finite value in feature window".to_string(),
+                ));
+            }
             data.extend_from_slice(ch);
         }
     }
@@ -77,6 +85,16 @@ mod tests {
         assert!(windows_to_tensor(&[window(4, 8, 0.0), window(4, 9, 0.0)]).is_err());
         assert!(windows_to_tensor(&[window(4, 8, 0.0), window(3, 8, 0.0)]).is_err());
         assert!(windows_to_tensor(&[window(4, 0, 0.0)]).is_err());
+    }
+
+    #[test]
+    fn rejects_non_finite_values() {
+        let mut poisoned = window(4, 8, 0.5);
+        poisoned.series[2][3] = f32::NAN;
+        assert!(windows_to_tensor(&[window(4, 8, 0.1), poisoned]).is_err());
+        let mut inf = window(4, 8, 0.5);
+        inf.series[0][0] = f32::INFINITY;
+        assert!(windows_to_tensor(&[inf]).is_err());
     }
 
     #[test]

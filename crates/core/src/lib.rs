@@ -41,11 +41,15 @@ pub use demand::{
 };
 pub use features::{embedding_features, windows_to_tensor};
 pub use grouping::{Grouping, GroupingConfig, GroupingEngine, GroupingStrategy};
-pub use predictor::{DemandPredictor, PipelineBacked, Prediction, PredictionContext};
+pub use predictor::{
+    DegradationSignal, DemandPredictor, PipelineBacked, Prediction, PredictionContext,
+};
 pub use recommend::{recommend_for_group, GroupRecommendation, RecommenderConfig};
 pub use reserve::{
     plan_reservation, score_reservation, GroupReservation, ReservationOutcome, ReservationPlan,
     ReservationPolicy,
 };
-pub use scheme::{DtAssistedPredictor, PredictionOutcome, SchemeConfig, SnrEstimator};
+pub use scheme::{
+    DegradationConfig, DtAssistedPredictor, PredictionOutcome, SchemeConfig, SnrEstimator,
+};
 pub use swiping::SwipingAbstraction;

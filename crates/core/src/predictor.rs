@@ -8,7 +8,7 @@
 
 use msvs_channel::Link;
 use msvs_edge::{TranscodeModel, VideoCache};
-use msvs_types::{CpuCycles, ResourceBlocks, Result};
+use msvs_types::{CpuCycles, ResourceBlocks, Result, SimTime};
 use msvs_udt::UdtStore;
 use msvs_video::Catalog;
 
@@ -28,6 +28,24 @@ pub struct PredictionContext<'a> {
     pub transcode: &'a TranscodeModel,
     /// The radio link model.
     pub link: &'a Link,
+    /// Simulation time of the prediction pass (degradation gates twin
+    /// freshness against this instant).
+    pub now: SimTime,
+}
+
+/// How the degradation ladder resolved for one prediction pass. Present
+/// only when [`crate::DegradationConfig::enabled`] is set, so fault-free
+/// runs carry no signal and stay bit-identical to historical behaviour.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DegradationSignal {
+    /// Fraction of twins with fresh fast attributes at prediction time.
+    pub coverage: f64,
+    /// Whether coverage fell below the configured threshold (totals fell
+    /// back to the historical mean when it had observations).
+    pub degraded: bool,
+    /// Reservation margin multiplier the caller should apply:
+    /// `1 + max_extra_margin * (1 - coverage)`.
+    pub margin: f64,
 }
 
 /// A predictor's forecast for the coming interval.
@@ -41,6 +59,9 @@ pub struct Prediction {
     /// recommendations) when the predictor runs the DT pipeline; `None`
     /// for scalar predictors like the historical mean.
     pub outcome: Option<PredictionOutcome>,
+    /// Degradation-ladder outcome; `None` when degradation is disabled or
+    /// the predictor does not track twin freshness.
+    pub degradation: Option<DegradationSignal>,
 }
 
 /// A resource-demand predictor the simulator can score.
@@ -92,15 +113,44 @@ impl DemandPredictor for DtAssistedPredictor {
             ctx.transcode,
             ctx.link,
         )?;
+        let mut radio = outcome.total_radio();
+        let mut computing = outcome.total_computing();
+        let deg = self.config().degradation;
+        let degradation = if deg.enabled {
+            let coverage = ctx.store.fresh_fraction(ctx.now, deg.staleness_horizon);
+            let degraded = coverage < deg.coverage_threshold;
+            let margin = 1.0 + deg.max_extra_margin * (1.0 - coverage);
+            if degraded {
+                // Bottom rung: the pipeline ran on stale/imputed twins, so
+                // trust the historical mean once it has observations.
+                if let Some((rb, cy)) = self.fallback_totals() {
+                    radio = rb;
+                    computing = cy;
+                }
+            }
+            Some(DegradationSignal {
+                coverage,
+                degraded,
+                margin,
+            })
+        } else {
+            None
+        };
         Ok(Prediction {
-            radio: outcome.total_radio(),
-            computing: outcome.total_computing(),
+            radio,
+            computing,
             outcome: Some(outcome),
+            degradation,
         })
     }
 
     fn attach_telemetry(&mut self, telemetry: msvs_telemetry::Telemetry) {
         DtAssistedPredictor::attach_telemetry(self, telemetry);
+    }
+
+    fn observe_actual(&mut self, radio: ResourceBlocks, computing: CpuCycles) {
+        // Keep the fallback EWMA warm so the ladder has somewhere to land.
+        self.observe_fallback(radio, computing);
     }
 
     fn pretrain(&mut self, store: &UdtStore, rounds: usize) -> Result<()> {
@@ -120,6 +170,7 @@ impl DemandPredictor for HistoricalMeanPredictor {
             radio,
             computing,
             outcome: None,
+            degradation: None,
         })
     }
 
@@ -172,6 +223,7 @@ impl<P: DemandPredictor> DemandPredictor for PipelineBacked<P> {
             radio: scored.radio,
             computing: scored.computing,
             outcome: Some(outcome),
+            degradation: scored.degradation,
         })
     }
 

@@ -47,16 +47,90 @@ impl Default for SnrEstimator {
 }
 
 /// Index of the base station nearest to `pos`.
+///
+/// `total_cmp` sorts NaN above every finite distance, so a corrupted
+/// position degrades to an arbitrary-but-deterministic choice instead of
+/// a panic.
 fn nearest_bs(pos: msvs_types::Position, bs: &[msvs_types::Position]) -> usize {
     bs.iter()
         .enumerate()
-        .min_by(|(_, a), (_, b)| {
-            pos.distance_sq(**a)
-                .partial_cmp(&pos.distance_sq(**b))
-                .expect("finite distances")
-        })
+        .min_by(|(_, a), (_, b)| pos.distance_sq(**a).total_cmp(&pos.distance_sq(**b)))
         .map(|(i, _)| i)
         .expect("at least one BS when called")
+}
+
+/// Graceful-degradation policy: what the predictor does when twin data
+/// goes stale (lossy uplink, churn storms).
+///
+/// The ladder has three rungs: *fresh* twin data feeds the full pipeline;
+/// *stale-but-present* data is imputed from the last known good samples
+/// (the twin's feature-window padding); and when fresh coverage across
+/// the population falls below `coverage_threshold`, the predictor's
+/// totals *fall back* to a historical-mean EWMA over past actual demands,
+/// with the reservation safety margin widened proportionally to the
+/// missing coverage.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DegradationConfig {
+    /// Whether degradation accounting runs at all. Off by default so
+    /// fault-free runs are bit-identical to historical behaviour; the
+    /// simulator enables it whenever a fault plan is active.
+    pub enabled: bool,
+    /// Minimum fresh-twin fraction below which the interval degrades.
+    pub coverage_threshold: f64,
+    /// How recent a twin's channel *and* location updates must be for the
+    /// twin to count as fresh.
+    pub staleness_horizon: msvs_types::SimDuration,
+    /// EWMA smoothing factor of the historical-mean fallback, in `(0, 1]`.
+    pub fallback_alpha: f64,
+    /// Extra reservation margin at zero coverage; the applied margin is
+    /// `1 + max_extra_margin * (1 - coverage)`.
+    pub max_extra_margin: f64,
+}
+
+impl Default for DegradationConfig {
+    fn default() -> Self {
+        Self {
+            enabled: false,
+            coverage_threshold: 0.75,
+            staleness_horizon: msvs_types::SimDuration::from_secs(15),
+            fallback_alpha: 0.5,
+            max_extra_margin: 0.5,
+        }
+    }
+}
+
+impl DegradationConfig {
+    /// Validates thresholds and factors.
+    ///
+    /// # Errors
+    /// Returns `InvalidConfig` for the first violated constraint.
+    pub fn validate(&self) -> Result<()> {
+        if !self.coverage_threshold.is_finite() || !(0.0..=1.0).contains(&self.coverage_threshold) {
+            return Err(Error::invalid_config(
+                "degradation.coverage_threshold",
+                "must be in [0, 1]",
+            ));
+        }
+        if self.staleness_horizon == msvs_types::SimDuration::ZERO {
+            return Err(Error::invalid_config(
+                "degradation.staleness_horizon",
+                "must be non-zero",
+            ));
+        }
+        if !(self.fallback_alpha > 0.0 && self.fallback_alpha <= 1.0) {
+            return Err(Error::invalid_config(
+                "degradation.fallback_alpha",
+                "must be in (0, 1]",
+            ));
+        }
+        if !self.max_extra_margin.is_finite() || self.max_extra_margin < 0.0 {
+            return Err(Error::invalid_config(
+                "degradation.max_extra_margin",
+                "must be finite and non-negative",
+            ));
+        }
+        Ok(())
+    }
 }
 
 /// Configuration of the full scheme.
@@ -85,6 +159,8 @@ pub struct SchemeConfig {
     pub per_bs_accounting: bool,
     /// Channel-condition estimator.
     pub snr_estimator: SnrEstimator,
+    /// Graceful-degradation policy for stale twin data.
+    pub degradation: DegradationConfig,
     /// Worker threads for the parallel pipeline stages (CNN encode and
     /// K-means assignment): `1` = serial, `0` = all available cores.
     /// Predictions are bit-identical at any thread count.
@@ -103,6 +179,7 @@ impl Default for SchemeConfig {
             bs_positions: Vec::new(),
             per_bs_accounting: false,
             snr_estimator: SnrEstimator::default(),
+            degradation: DegradationConfig::default(),
             threads: 1,
         }
     }
@@ -162,6 +239,7 @@ pub struct DtAssistedPredictor {
     compressor: CnnCompressor,
     engine: GroupingEngine,
     pool: msvs_par::Pool,
+    fallback: crate::baselines::HistoricalMeanPredictor,
     intervals_predicted: u64,
     telemetry: Option<msvs_telemetry::Telemetry>,
 }
@@ -173,6 +251,7 @@ impl DtAssistedPredictor {
     /// Propagates configuration errors from the compressor and grouping
     /// engine.
     pub fn new(mut config: SchemeConfig) -> Result<Self> {
+        config.degradation.validate()?;
         let pool = if config.threads == 1 {
             msvs_par::Pool::serial()
         } else {
@@ -184,11 +263,14 @@ impl DtAssistedPredictor {
         config.grouping.threads = pool.threads();
         let compressor = CnnCompressor::new(config.compressor)?;
         let engine = GroupingEngine::new(config.grouping.clone())?;
+        let fallback =
+            crate::baselines::HistoricalMeanPredictor::new(config.degradation.fallback_alpha)?;
         Ok(Self {
             config,
             compressor,
             engine,
             pool,
+            fallback,
             intervals_predicted: 0,
             telemetry: None,
         })
@@ -215,6 +297,18 @@ impl DtAssistedPredictor {
     /// Number of prediction passes performed.
     pub fn intervals_predicted(&self) -> u64 {
         self.intervals_predicted
+    }
+
+    /// Feeds an interval's actual measured demands into the historical-mean
+    /// fallback — the bottom rung of the degradation ladder.
+    pub fn observe_fallback(&mut self, radio: ResourceBlocks, computing: CpuCycles) {
+        self.fallback.observe(radio, computing);
+    }
+
+    /// The fallback EWMA's current `(radio, computing)` estimate, or `None`
+    /// before its first observation.
+    pub fn fallback_totals(&self) -> Option<(ResourceBlocks, CpuCycles)> {
+        self.fallback.predict()
     }
 
     /// Mutable access to the grouping engine (pretraining, inspection).

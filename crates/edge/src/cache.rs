@@ -23,6 +23,9 @@ fn entry_size_mb(video: &Video, level: RepresentationLevel) -> f64 {
 #[derive(Debug, Clone)]
 pub struct VideoCache {
     capacity_mb: f64,
+    /// Brownout multiplier in `(0, 1]` applied to `capacity_mb`; `1.0`
+    /// outside fault-injection runs.
+    capacity_scale: f64,
     used_mb: f64,
     /// key -> (size, last-use tick)
     entries: HashMap<(VideoId, RepresentationLevel), (f64, u64)>,
@@ -46,6 +49,7 @@ impl VideoCache {
         );
         Self {
             capacity_mb,
+            capacity_scale: 1.0,
             used_mb: 0.0,
             entries: HashMap::new(),
             tick: 0,
@@ -66,7 +70,7 @@ impl VideoCache {
         for video in catalog.videos() {
             let level = video.top_level();
             let size = entry_size_mb(video, level);
-            if self.used_mb + size > self.capacity_mb {
+            if self.used_mb + size > self.effective_capacity_mb() {
                 break;
             }
             self.insert_unchecked(video.id, level, size);
@@ -78,9 +82,40 @@ impl VideoCache {
         self.used_mb
     }
 
-    /// Configured capacity, megabits.
+    /// Configured capacity, megabits (before any brownout scale).
     pub fn capacity_mb(&self) -> f64 {
         self.capacity_mb
+    }
+
+    /// Capacity currently available, megabits: configured capacity times
+    /// the brownout scale.
+    pub fn effective_capacity_mb(&self) -> f64 {
+        self.capacity_mb * self.capacity_scale
+    }
+
+    /// The brownout capacity multiplier currently applied.
+    pub fn capacity_scale(&self) -> f64 {
+        self.capacity_scale
+    }
+
+    /// Applies a brownout capacity multiplier in `(0, 1]`, evicting LRU
+    /// entries until usage fits the reduced capacity. Restoring a larger
+    /// scale does not refill the cache — entries return only through
+    /// normal inserts.
+    ///
+    /// # Panics
+    /// Panics if `scale` is outside `(0, 1]`.
+    pub fn set_capacity_scale(&mut self, scale: f64) {
+        assert!(
+            scale > 0.0 && scale <= 1.0,
+            "capacity scale must be in (0, 1]"
+        );
+        self.capacity_scale = scale;
+        while self.used_mb > self.effective_capacity_mb() {
+            if !self.evict_lru() {
+                break;
+            }
+        }
     }
 
     /// Number of cached entries.
@@ -162,13 +197,13 @@ impl VideoCache {
     /// Entries larger than the whole cache are refused (returns `false`).
     pub fn insert(&mut self, video: &Video, level: RepresentationLevel) -> bool {
         let size = entry_size_mb(video, level);
-        if size > self.capacity_mb {
+        if size > self.effective_capacity_mb() {
             return false;
         }
         if self.entries.contains_key(&(video.id, level)) {
             return true;
         }
-        while self.used_mb + size > self.capacity_mb {
+        while self.used_mb + size > self.effective_capacity_mb() {
             if !self.evict_lru() {
                 return false;
             }
@@ -313,6 +348,35 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_capacity_panics() {
         let _ = VideoCache::new(0.0);
+    }
+
+    #[test]
+    fn brownout_scale_evicts_down_and_bounds_inserts() {
+        let c = catalog();
+        let mut cache = VideoCache::new(2000.0);
+        cache.warm_from(&c);
+        let before = cache.used_mb();
+        assert!(before > 1000.0, "warm fills most of the cache: {before}");
+        cache.set_capacity_scale(0.5);
+        assert!(cache.used_mb() <= 1000.0, "evicted down to the brownout");
+        assert!(!cache.take_evicted().is_empty());
+        assert_eq!(cache.effective_capacity_mb(), 1000.0);
+        // Inserts respect the reduced capacity.
+        let big = &c.videos()[0];
+        let used = cache.used_mb();
+        cache.insert(big, big.top_level());
+        assert!(cache.used_mb() <= 1000.0);
+        // Restoring the scale reopens headroom without refilling.
+        cache.set_capacity_scale(1.0);
+        assert_eq!(cache.effective_capacity_mb(), 2000.0);
+        assert!(cache.used_mb() <= used + 2000.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity scale")]
+    fn out_of_range_scale_panics() {
+        let mut cache = VideoCache::new(100.0);
+        cache.set_capacity_scale(0.0);
     }
 
     #[test]

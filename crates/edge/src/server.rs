@@ -105,6 +105,24 @@ impl EdgeServer {
         &self.cache
     }
 
+    /// Applies a brownout capacity scale in `(0, 1]` to the cache,
+    /// evicting down to the reduced capacity. Evictions are journaled like
+    /// any serve-path eviction when telemetry is attached.
+    ///
+    /// # Panics
+    /// Panics if `scale` is outside `(0, 1]`.
+    pub fn set_capacity_scale(&mut self, scale: f64) {
+        self.cache.set_capacity_scale(scale);
+        if let Some(t) = &self.telemetry {
+            for (video, level) in self.cache.take_evicted() {
+                t.emit(msvs_telemetry::Event::CacheEvicted {
+                    video: video.0 as u64,
+                    level: level.to_string(),
+                });
+            }
+        }
+    }
+
     /// The transcode cost model.
     pub fn transcode_model(&self) -> &TranscodeModel {
         &self.model

@@ -1,0 +1,909 @@
+//! Seeded, deterministic fault injection for the UDT→prediction pipeline.
+//!
+//! The paper's scheme assumes status collection is lossless and fresh; the
+//! follow-up work (arXiv:2404.13749, arXiv:2308.08995) makes explicit that
+//! DT data arrives over a lossy, delayed uplink. This crate provides the
+//! *fault plane*: a [`FaultPlan`] describing which failures to inject —
+//! uplink report loss, bounded delay, sample corruption, user churn
+//! bursts, and edge transcoder brownouts — and a stateless
+//! [`FaultInjector`] that decides each report's fate from a hash of
+//! `(plan seed, sim seed, user, time, attribute)`.
+//!
+//! Because every decision is a pure function of those inputs (no shared
+//! RNG stream is consumed), injection is bit-identical at any worker-pool
+//! size, and a plan that injects nothing perturbs no existing RNG stream:
+//! the empty plan is a true no-op.
+//!
+//! Plans are built in code or parsed from JSON profiles via the
+//! hand-rolled codec in `msvs-telemetry` — see [`FaultPlan::parse`] and
+//! the built-in profiles in [`FaultPlan::builtin`].
+
+use msvs_telemetry::Json;
+use msvs_types::{Error, Result, SimDuration, SimTime};
+
+/// Report-delay injection: a faulted report is buffered and delivered a
+/// bounded number of ticks late (with its original timestamp).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DelaySpec {
+    /// Probability a report is delayed rather than delivered on time.
+    pub probability: f64,
+    /// Maximum delay, in collection ticks (uniform in `1..=max_ticks`).
+    pub max_ticks: u64,
+}
+
+impl Default for DelaySpec {
+    fn default() -> Self {
+        Self {
+            probability: 0.0,
+            max_ticks: 3,
+        }
+    }
+}
+
+/// Bounded retry-with-backoff for lost reports.
+///
+/// When an uplink report is lost, the sync tracker schedules a
+/// re-transmission `backoff` later, doubling on each further loss, up to
+/// `max_attempts` retries per loss episode. Retries count as extra
+/// signalling.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetrySpec {
+    /// Maximum retries per loss episode (`0` disables retry).
+    pub max_attempts: u32,
+    /// Initial backoff before the first retry; doubles per attempt.
+    pub backoff: SimDuration,
+}
+
+impl Default for RetrySpec {
+    fn default() -> Self {
+        Self {
+            max_attempts: 3,
+            backoff: SimDuration::from_secs(2),
+        }
+    }
+}
+
+/// A mass leave/join event: at the start of scored interval `interval`,
+/// `fraction` of the population is replaced with fresh arrivals.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChurnBurst {
+    /// Scored interval index the burst fires at.
+    pub interval: u64,
+    /// Fraction of users replaced, in `[0, 1]`.
+    pub fraction: f64,
+}
+
+/// An edge transcoder brownout: for `duration` scored intervals starting
+/// at `start`, the edge cache operates at `capacity_scale` of its
+/// configured capacity (evicting down deterministically), raising
+/// transcode demand.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Brownout {
+    /// First scored interval the brownout covers.
+    pub start: u64,
+    /// Number of scored intervals it lasts (at least 1).
+    pub duration: u64,
+    /// Remaining capacity fraction, in `(0, 1]`.
+    pub capacity_scale: f64,
+}
+
+impl Brownout {
+    /// Whether this brownout covers scored interval `interval`.
+    pub fn covers(&self, interval: u64) -> bool {
+        interval >= self.start && interval < self.start.saturating_add(self.duration)
+    }
+}
+
+/// A complete fault-injection plan.
+///
+/// The default plan injects nothing (see [`FaultPlan::is_noop`]); the
+/// simulator treats a no-op plan exactly like no plan at all.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Dedicated fault seed, mixed with the simulation seed so the same
+    /// plan produces different (but reproducible) faults across runs.
+    pub seed: u64,
+    /// Per-report probability an uplink status report is lost.
+    pub uplink_loss: f64,
+    /// Report-delay injection.
+    pub delay: DelaySpec,
+    /// Per-report probability a channel/location sample is corrupted
+    /// (NaN or wildly out-of-range values).
+    pub corruption: f64,
+    /// Retry policy for lost reports.
+    pub retry: RetrySpec,
+    /// Scheduled churn bursts.
+    pub churn_bursts: Vec<ChurnBurst>,
+    /// Scheduled edge brownouts.
+    pub brownouts: Vec<Brownout>,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+impl FaultPlan {
+    /// The empty plan: injects nothing, a true no-op.
+    pub fn none() -> Self {
+        Self {
+            seed: 0,
+            uplink_loss: 0.0,
+            delay: DelaySpec::default(),
+            corruption: 0.0,
+            retry: RetrySpec::default(),
+            churn_bursts: Vec::new(),
+            brownouts: Vec::new(),
+        }
+    }
+
+    /// Whether this plan injects nothing at all.
+    pub fn is_noop(&self) -> bool {
+        self.uplink_loss == 0.0
+            && self.delay.probability == 0.0
+            && self.corruption == 0.0
+            && self.churn_bursts.is_empty()
+            && self.brownouts.is_empty()
+    }
+
+    /// Validates every probability, window, and scale in the plan.
+    ///
+    /// # Errors
+    /// Returns `InvalidConfig` describing the first violated constraint.
+    pub fn validate(&self) -> Result<()> {
+        let unit = |field: &'static str, v: f64| {
+            if !v.is_finite() || !(0.0..=1.0).contains(&v) {
+                Err(Error::invalid_config(field, "must be in [0, 1]"))
+            } else {
+                Ok(())
+            }
+        };
+        unit("faults.uplink_loss", self.uplink_loss)?;
+        unit("faults.delay.probability", self.delay.probability)?;
+        unit("faults.corruption", self.corruption)?;
+        if self.uplink_loss + self.delay.probability + self.corruption > 1.0 {
+            return Err(Error::invalid_config(
+                "faults",
+                "loss + delay + corruption probabilities must not exceed 1",
+            ));
+        }
+        if self.delay.probability > 0.0 && self.delay.max_ticks == 0 {
+            return Err(Error::invalid_config(
+                "faults.delay.max_ticks",
+                "must be at least 1 when delay is enabled",
+            ));
+        }
+        if self.delay.max_ticks > 1_000 {
+            return Err(Error::invalid_config(
+                "faults.delay.max_ticks",
+                "must be at most 1000",
+            ));
+        }
+        if self.retry.max_attempts > 16 {
+            return Err(Error::invalid_config(
+                "faults.retry.max_attempts",
+                "must be at most 16",
+            ));
+        }
+        if self.retry.max_attempts > 0 && self.retry.backoff == SimDuration::ZERO {
+            return Err(Error::invalid_config(
+                "faults.retry.backoff",
+                "must be non-zero when retries are enabled",
+            ));
+        }
+        for b in &self.churn_bursts {
+            unit("faults.churn_bursts.fraction", b.fraction)?;
+        }
+        for b in &self.brownouts {
+            if b.duration == 0 {
+                return Err(Error::invalid_config(
+                    "faults.brownouts.duration",
+                    "must be at least 1 interval",
+                ));
+            }
+            if !b.capacity_scale.is_finite() || b.capacity_scale <= 0.0 || b.capacity_scale > 1.0 {
+                return Err(Error::invalid_config(
+                    "faults.brownouts.capacity_scale",
+                    "must be in (0, 1]",
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Total churn fraction scheduled for scored interval `interval`
+    /// (bursts at the same interval stack, capped at 1).
+    pub fn churn_at(&self, interval: u64) -> Option<f64> {
+        let total: f64 = self
+            .churn_bursts
+            .iter()
+            .filter(|b| b.interval == interval)
+            .map(|b| b.fraction)
+            .sum();
+        (total > 0.0).then_some(total.min(1.0))
+    }
+
+    /// Effective edge-cache capacity scale at scored interval `interval`
+    /// (`1.0` when no brownout covers it; overlapping brownouts take the
+    /// deepest cut).
+    pub fn brownout_scale_at(&self, interval: u64) -> f64 {
+        self.brownouts
+            .iter()
+            .filter(|b| b.covers(interval))
+            .map(|b| b.capacity_scale)
+            .fold(1.0, f64::min)
+    }
+
+    /// The built-in profile names accepted by [`FaultPlan::builtin`].
+    pub const BUILTINS: [&'static str; 3] = ["lossy-uplink", "churn-storm", "brownout"];
+
+    /// Looks up a built-in named profile.
+    pub fn builtin(name: &str) -> Option<Self> {
+        match name {
+            // A degraded uplink: heavy loss, some delay, a little
+            // corruption — the scenario arXiv:2404.13749 models.
+            "lossy-uplink" => Some(Self {
+                seed: 0x10_55,
+                uplink_loss: 0.30,
+                delay: DelaySpec {
+                    probability: 0.10,
+                    max_ticks: 3,
+                },
+                corruption: 0.02,
+                ..Self::none()
+            }),
+            // Flash-crowd turnover: half the audience swaps out twice.
+            "churn-storm" => Some(Self {
+                seed: 0xC4_04,
+                uplink_loss: 0.05,
+                churn_bursts: vec![
+                    ChurnBurst {
+                        interval: 1,
+                        fraction: 0.5,
+                    },
+                    ChurnBurst {
+                        interval: 3,
+                        fraction: 0.5,
+                    },
+                ],
+                ..Self::none()
+            }),
+            // The edge cache loses most of its capacity mid-run.
+            "brownout" => Some(Self {
+                seed: 0xB0_07,
+                uplink_loss: 0.05,
+                brownouts: vec![
+                    Brownout {
+                        start: 1,
+                        duration: 2,
+                        capacity_scale: 0.35,
+                    },
+                    Brownout {
+                        start: 4,
+                        duration: 1,
+                        capacity_scale: 0.5,
+                    },
+                ],
+                ..Self::none()
+            }),
+            _ => None,
+        }
+    }
+
+    /// Serialises the plan as a JSON profile.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("seed", Json::Num(self.seed as f64)),
+            ("uplink_loss", Json::Num(self.uplink_loss)),
+            (
+                "delay",
+                Json::obj([
+                    ("probability", Json::Num(self.delay.probability)),
+                    ("max_ticks", Json::Num(self.delay.max_ticks as f64)),
+                ]),
+            ),
+            ("corruption", Json::Num(self.corruption)),
+            (
+                "retry",
+                Json::obj([
+                    (
+                        "max_attempts",
+                        Json::Num(f64::from(self.retry.max_attempts)),
+                    ),
+                    (
+                        "backoff_ms",
+                        Json::Num(self.retry.backoff.as_millis() as f64),
+                    ),
+                ]),
+            ),
+            (
+                "churn_bursts",
+                Json::Arr(
+                    self.churn_bursts
+                        .iter()
+                        .map(|b| {
+                            Json::obj([
+                                ("interval", Json::Num(b.interval as f64)),
+                                ("fraction", Json::Num(b.fraction)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "brownouts",
+                Json::Arr(
+                    self.brownouts
+                        .iter()
+                        .map(|b| {
+                            Json::obj([
+                                ("start", Json::Num(b.start as f64)),
+                                ("duration", Json::Num(b.duration as f64)),
+                                ("capacity_scale", Json::Num(b.capacity_scale)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Deserialises a plan from a JSON profile value. Absent fields keep
+    /// their [`FaultPlan::none`] defaults, so `{}` is the empty plan.
+    ///
+    /// # Errors
+    /// Returns `InvalidConfig` on malformed fields or a plan that fails
+    /// [`FaultPlan::validate`].
+    pub fn from_json(json: &Json) -> Result<Self> {
+        let bad = |reason: &str| Error::invalid_config("faults", reason.to_string());
+        let mut plan = Self::none();
+        if let Some(v) = json.get("seed") {
+            plan.seed = v.as_u64().ok_or_else(|| bad("seed must be an integer"))?;
+        }
+        if let Some(v) = json.get("uplink_loss") {
+            plan.uplink_loss = v
+                .as_f64()
+                .ok_or_else(|| bad("uplink_loss must be a number"))?;
+        }
+        if let Some(d) = json.get("delay") {
+            if let Some(v) = d.get("probability") {
+                plan.delay.probability = v
+                    .as_f64()
+                    .ok_or_else(|| bad("delay.probability must be a number"))?;
+            }
+            if let Some(v) = d.get("max_ticks") {
+                plan.delay.max_ticks = v
+                    .as_u64()
+                    .ok_or_else(|| bad("delay.max_ticks must be an integer"))?;
+            }
+        }
+        if let Some(v) = json.get("corruption") {
+            plan.corruption = v
+                .as_f64()
+                .ok_or_else(|| bad("corruption must be a number"))?;
+        }
+        if let Some(r) = json.get("retry") {
+            if let Some(v) = r.get("max_attempts") {
+                let n = v
+                    .as_u64()
+                    .ok_or_else(|| bad("retry.max_attempts must be an integer"))?;
+                plan.retry.max_attempts =
+                    u32::try_from(n).map_err(|_| bad("retry.max_attempts out of range"))?;
+            }
+            if let Some(v) = r.get("backoff_ms") {
+                plan.retry.backoff = SimDuration::from_millis(
+                    v.as_u64()
+                        .ok_or_else(|| bad("retry.backoff_ms must be an integer"))?,
+                );
+            }
+        }
+        if let Some(Json::Arr(items)) = json.get("churn_bursts") {
+            for item in items {
+                plan.churn_bursts.push(ChurnBurst {
+                    interval: item
+                        .get("interval")
+                        .and_then(Json::as_u64)
+                        .ok_or_else(|| bad("churn_bursts.interval must be an integer"))?,
+                    fraction: item
+                        .get("fraction")
+                        .and_then(Json::as_f64)
+                        .ok_or_else(|| bad("churn_bursts.fraction must be a number"))?,
+                });
+            }
+        }
+        if let Some(Json::Arr(items)) = json.get("brownouts") {
+            for item in items {
+                plan.brownouts.push(Brownout {
+                    start: item
+                        .get("start")
+                        .and_then(Json::as_u64)
+                        .ok_or_else(|| bad("brownouts.start must be an integer"))?,
+                    duration: item
+                        .get("duration")
+                        .and_then(Json::as_u64)
+                        .ok_or_else(|| bad("brownouts.duration must be an integer"))?,
+                    capacity_scale: item
+                        .get("capacity_scale")
+                        .and_then(Json::as_f64)
+                        .ok_or_else(|| bad("brownouts.capacity_scale must be a number"))?,
+                });
+            }
+        }
+        plan.validate()?;
+        Ok(plan)
+    }
+
+    /// Parses a plan from JSON profile text.
+    ///
+    /// # Errors
+    /// Returns `InvalidConfig` on parse or validation failure.
+    pub fn parse(text: &str) -> Result<Self> {
+        let json = Json::parse(text)
+            .map_err(|e| Error::invalid_config("faults", format!("invalid JSON profile: {e}")))?;
+        Self::from_json(&json)
+    }
+}
+
+/// The twin attribute an uplink report carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Attribute {
+    /// Channel-quality (SNR) sample.
+    Channel,
+    /// Location sample.
+    Location,
+    /// Preference refresh trigger.
+    Preference,
+}
+
+impl Attribute {
+    fn salt(self) -> u64 {
+        match self {
+            Attribute::Channel => 0x11_C4A2,
+            Attribute::Location => 0x22_10C4,
+            Attribute::Preference => 0x33_F8EF,
+        }
+    }
+
+    /// Stable label for journals.
+    pub fn label(self) -> &'static str {
+        match self {
+            Attribute::Channel => "channel",
+            Attribute::Location => "location",
+            Attribute::Preference => "preference",
+        }
+    }
+}
+
+/// The fate the injector assigns one uplink report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReportFate {
+    /// Delivered on time, intact.
+    Deliver,
+    /// Lost in transit (eligible for retry).
+    Lose,
+    /// Delivered `n` collection ticks late, intact, original timestamp.
+    Delay(u64),
+    /// Delivered on time with a corrupted payload.
+    Corrupt,
+}
+
+impl ReportFate {
+    /// Stable label for journals.
+    pub fn label(self) -> &'static str {
+        match self {
+            ReportFate::Deliver => "deliver",
+            ReportFate::Lose => "lose",
+            ReportFate::Delay(_) => "delay",
+            ReportFate::Corrupt => "corrupt",
+        }
+    }
+}
+
+/// splitmix64 finaliser: a high-quality 64-bit mix.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Maps a hash to a unit float in `[0, 1)` with 53 bits of precision.
+fn unit(h: u64) -> f64 {
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Out-of-range / non-finite payloads a corrupted report cycles through.
+const CORRUPT_VALUES: [f64; 5] = [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, 1e6, -1e6];
+
+/// Stateless per-report fate oracle.
+///
+/// Every decision is a pure hash of `(plan seed ⊕ sim seed, user, time,
+/// attribute)` — no RNG state is shared or consumed, so fates are
+/// independent of evaluation order and therefore of the thread count.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultInjector {
+    key: u64,
+    loss: f64,
+    delay_p: f64,
+    delay_max: u64,
+    corruption: f64,
+}
+
+impl FaultInjector {
+    /// Builds the oracle for `plan` under simulation seed `sim_seed`.
+    pub fn new(plan: &FaultPlan, sim_seed: u64) -> Self {
+        Self {
+            key: mix(plan.seed ^ mix(sim_seed)),
+            loss: plan.uplink_loss,
+            delay_p: plan.delay.probability,
+            delay_max: plan.delay.max_ticks.max(1),
+            corruption: plan.corruption,
+        }
+    }
+
+    fn hash(&self, user: u32, t_ms: u64, attr: Attribute) -> u64 {
+        mix(self
+            .key
+            .wrapping_add(mix(u64::from(user).wrapping_mul(0x9E37_79B9)))
+            .wrapping_add(mix(t_ms))
+            .wrapping_add(attr.salt()))
+    }
+
+    /// Decides the fate of the report `user` sends at `t_ms` for `attr`.
+    pub fn fate(&self, user: u32, t_ms: u64, attr: Attribute) -> ReportFate {
+        let h = self.hash(user, t_ms, attr);
+        let u = unit(h);
+        if u < self.loss {
+            ReportFate::Lose
+        } else if u < self.loss + self.delay_p {
+            // An independent hash picks the delay so it does not correlate
+            // with the fate draw.
+            let ticks = 1 + mix(h ^ 0xDE1A_F00D) % self.delay_max;
+            ReportFate::Delay(ticks)
+        } else if u < self.loss + self.delay_p + self.corruption {
+            ReportFate::Corrupt
+        } else {
+            ReportFate::Deliver
+        }
+    }
+
+    /// The corrupted payload for a [`ReportFate::Corrupt`] report.
+    pub fn corrupt_value(&self, user: u32, t_ms: u64, attr: Attribute) -> f64 {
+        let h = mix(self.hash(user, t_ms, attr) ^ 0xBAD_F00D);
+        CORRUPT_VALUES[(h % CORRUPT_VALUES.len() as u64) as usize]
+    }
+}
+
+/// A report buffered for late delivery.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Delayed<T> {
+    deliver_at: SimTime,
+    sampled_at: SimTime,
+    payload: T,
+}
+
+/// Bounded FIFO buffer of delayed reports.
+///
+/// Reports past the capacity are dropped (counted by the caller as lost);
+/// [`DelayQueue::drain_due`] releases everything due by `now` in insertion
+/// order, which is deterministic because each queue belongs to exactly one
+/// user and is only touched from that user's (sequential) tick loop.
+#[derive(Debug, Clone)]
+pub struct DelayQueue<T> {
+    items: Vec<Delayed<T>>,
+    capacity: usize,
+}
+
+impl<T> DelayQueue<T> {
+    /// An empty queue holding at most `capacity` in-flight reports.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            items: Vec::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Buffers a report sampled at `sampled_at` for delivery at
+    /// `deliver_at`. Returns `false` (report dropped) when full.
+    pub fn push(&mut self, deliver_at: SimTime, sampled_at: SimTime, payload: T) -> bool {
+        if self.items.len() >= self.capacity {
+            return false;
+        }
+        self.items.push(Delayed {
+            deliver_at,
+            sampled_at,
+            payload,
+        });
+        true
+    }
+
+    /// Releases every report due by `now`, as `(sampled_at, payload)` in
+    /// insertion order.
+    pub fn drain_due(&mut self, now: SimTime) -> Vec<(SimTime, T)> {
+        let mut due = Vec::new();
+        let mut i = 0;
+        while i < self.items.len() {
+            if self.items[i].deliver_at <= now {
+                let d = self.items.remove(i);
+                due.push((d.sampled_at, d.payload));
+            } else {
+                i += 1;
+            }
+        }
+        due
+    }
+
+    /// Number of reports currently in flight.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+impl<T> Default for DelayQueue<T> {
+    fn default() -> Self {
+        Self::new(32)
+    }
+}
+
+/// Per-user tallies of injected faults, summed serially after each
+/// parallel collection pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultCounts {
+    /// Reports lost in transit (including delay-queue overflow).
+    pub lost: u64,
+    /// Reports delivered late.
+    pub delayed: u64,
+    /// Reports delivered with corrupted payloads.
+    pub corrupted: u64,
+    /// Corrupted payloads the twin rejected on ingest.
+    pub rejected: u64,
+}
+
+impl FaultCounts {
+    /// Accumulates `other` into `self`.
+    pub fn add(&mut self, other: FaultCounts) {
+        self.lost += other.lost;
+        self.delayed += other.delayed;
+        self.corrupted += other.corrupted;
+        self.rejected += other.rejected;
+    }
+
+    /// Total faults injected.
+    pub fn total(&self) -> u64 {
+        self.lost + self.delayed + self.corrupted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_is_noop_and_valid() {
+        let plan = FaultPlan::none();
+        assert!(plan.is_noop());
+        plan.validate().unwrap();
+        assert_eq!(plan.churn_at(0), None);
+        assert_eq!(plan.brownout_scale_at(0), 1.0);
+    }
+
+    #[test]
+    fn builtins_parse_and_validate() {
+        for name in FaultPlan::BUILTINS {
+            let plan = FaultPlan::builtin(name).expect("builtin exists");
+            plan.validate().expect("builtin is valid");
+            assert!(!plan.is_noop(), "{name} must inject something");
+        }
+        assert!(FaultPlan::builtin("no-such-profile").is_none());
+    }
+
+    #[test]
+    fn validation_rejects_bad_plans() {
+        let mut p = FaultPlan::none();
+        p.uplink_loss = 1.5;
+        assert!(p.validate().is_err());
+        let mut p = FaultPlan::none();
+        p.uplink_loss = 0.6;
+        p.delay.probability = 0.5;
+        assert!(p.validate().is_err(), "probabilities must not exceed 1");
+        let mut p = FaultPlan::none();
+        p.delay.probability = 0.1;
+        p.delay.max_ticks = 0;
+        assert!(p.validate().is_err());
+        let mut p = FaultPlan::none();
+        p.brownouts.push(Brownout {
+            start: 0,
+            duration: 1,
+            capacity_scale: 0.0,
+        });
+        assert!(p.validate().is_err());
+        let mut p = FaultPlan::none();
+        p.churn_bursts.push(ChurnBurst {
+            interval: 0,
+            fraction: -0.1,
+        });
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let plan = FaultPlan {
+            seed: 42,
+            uplink_loss: 0.3,
+            delay: DelaySpec {
+                probability: 0.1,
+                max_ticks: 4,
+            },
+            corruption: 0.05,
+            retry: RetrySpec {
+                max_attempts: 2,
+                backoff: SimDuration::from_secs(3),
+            },
+            churn_bursts: vec![ChurnBurst {
+                interval: 2,
+                fraction: 0.4,
+            }],
+            brownouts: vec![Brownout {
+                start: 1,
+                duration: 2,
+                capacity_scale: 0.5,
+            }],
+        };
+        let text = plan.to_json().to_string();
+        let back = FaultPlan::parse(&text).unwrap();
+        assert_eq!(plan, back);
+    }
+
+    #[test]
+    fn empty_profile_parses_to_noop() {
+        let plan = FaultPlan::parse("{}").unwrap();
+        assert!(plan.is_noop());
+        assert!(FaultPlan::parse("{nope").is_err());
+        assert!(FaultPlan::parse(r#"{"uplink_loss": 7.0}"#).is_err());
+    }
+
+    #[test]
+    fn fates_are_deterministic_and_order_independent() {
+        let plan = FaultPlan {
+            uplink_loss: 0.3,
+            delay: DelaySpec {
+                probability: 0.2,
+                max_ticks: 3,
+            },
+            corruption: 0.1,
+            ..FaultPlan::none()
+        };
+        let inj = FaultInjector::new(&plan, 7);
+        // Same query, any order, any number of times → same fate.
+        let a = inj.fate(3, 15_000, Attribute::Channel);
+        for _ in 0..4 {
+            inj.fate(9, 5_000, Attribute::Location);
+        }
+        assert_eq!(a, inj.fate(3, 15_000, Attribute::Channel));
+        // Different seeds decorrelate.
+        let other = FaultInjector::new(&plan, 8);
+        let mut differ = false;
+        for t in 0..64u64 {
+            if inj.fate(1, t * 1000, Attribute::Channel)
+                != other.fate(1, t * 1000, Attribute::Channel)
+            {
+                differ = true;
+                break;
+            }
+        }
+        assert!(
+            differ,
+            "distinct sim seeds must yield distinct fate streams"
+        );
+    }
+
+    #[test]
+    fn fate_frequencies_match_probabilities() {
+        let plan = FaultPlan {
+            uplink_loss: 0.3,
+            delay: DelaySpec {
+                probability: 0.2,
+                max_ticks: 3,
+            },
+            corruption: 0.1,
+            ..FaultPlan::none()
+        };
+        let inj = FaultInjector::new(&plan, 1);
+        let n = 20_000u64;
+        let mut counts = [0u64; 4];
+        for i in 0..n {
+            let idx = match inj.fate((i % 97) as u32, i * 313, Attribute::Channel) {
+                ReportFate::Deliver => 0,
+                ReportFate::Lose => 1,
+                ReportFate::Delay(t) => {
+                    assert!((1..=3).contains(&t));
+                    2
+                }
+                ReportFate::Corrupt => 3,
+            };
+            counts[idx] += 1;
+        }
+        let frac = |c: u64| c as f64 / n as f64;
+        assert!((frac(counts[1]) - 0.3).abs() < 0.02, "loss ≈ 30%");
+        assert!((frac(counts[2]) - 0.2).abs() < 0.02, "delay ≈ 20%");
+        assert!((frac(counts[3]) - 0.1).abs() < 0.02, "corruption ≈ 10%");
+    }
+
+    #[test]
+    fn corrupt_values_are_implausible() {
+        let plan = FaultPlan {
+            corruption: 1.0,
+            ..FaultPlan::none()
+        };
+        let inj = FaultInjector::new(&plan, 3);
+        for i in 0..50u32 {
+            let v = inj.corrupt_value(i, u64::from(i) * 777, Attribute::Channel);
+            assert!(!v.is_finite() || v.abs() >= 1e6);
+        }
+    }
+
+    #[test]
+    fn delay_queue_is_bounded_and_fifo() {
+        let mut q: DelayQueue<f64> = DelayQueue::new(2);
+        let t = SimTime::from_secs;
+        assert!(q.push(t(10), t(5), 1.0));
+        assert!(q.push(t(8), t(6), 2.0));
+        assert!(!q.push(t(9), t(7), 3.0), "capacity 2 drops the third");
+        assert!(q.drain_due(t(7)).is_empty());
+        let due = q.drain_due(t(10));
+        assert_eq!(due, vec![(t(5), 1.0), (t(6), 2.0)]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn burst_and_brownout_schedules_resolve() {
+        let plan = FaultPlan {
+            churn_bursts: vec![
+                ChurnBurst {
+                    interval: 2,
+                    fraction: 0.4,
+                },
+                ChurnBurst {
+                    interval: 2,
+                    fraction: 0.8,
+                },
+            ],
+            brownouts: vec![Brownout {
+                start: 1,
+                duration: 2,
+                capacity_scale: 0.4,
+            }],
+            ..FaultPlan::none()
+        };
+        assert_eq!(plan.churn_at(1), None);
+        assert_eq!(plan.churn_at(2), Some(1.0), "stacked bursts cap at 1");
+        assert_eq!(plan.brownout_scale_at(0), 1.0);
+        assert_eq!(plan.brownout_scale_at(1), 0.4);
+        assert_eq!(plan.brownout_scale_at(2), 0.4);
+        assert_eq!(plan.brownout_scale_at(3), 1.0);
+    }
+
+    /// The shipped JSON profiles must stay in lockstep with the built-ins
+    /// so `--faults <name>` and `--faults results/fault_profiles/<name>.json`
+    /// mean the same run.
+    #[test]
+    fn shipped_profiles_match_builtins() {
+        let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../results/fault_profiles");
+        for name in FaultPlan::BUILTINS {
+            let path = format!("{dir}/{name}.json");
+            let text = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{path}: {e}"));
+            let on_disk = FaultPlan::parse(&text).expect("profile parses");
+            assert_eq!(
+                on_disk,
+                FaultPlan::builtin(name).expect("builtin exists"),
+                "{name}.json drifted from the built-in profile"
+            );
+        }
+    }
+}

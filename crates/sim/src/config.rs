@@ -172,6 +172,11 @@ pub struct SimulationConfig {
     pub link: LinkConfig,
     /// Edge server parameters.
     pub edge: EdgeConfig,
+    /// Optional fault-injection plan: seeded uplink loss/delay/corruption,
+    /// churn bursts, and edge brownouts. `None` (or a no-op plan) leaves
+    /// the simulation bit-identical to a fault-free run; a live plan also
+    /// enables the scheme's graceful-degradation ladder.
+    pub faults: Option<msvs_faults::FaultPlan>,
     /// Worker threads for the parallel hot paths (per-user collection,
     /// CNN encode, K-means assignment): `1` = serial, `0` = all available
     /// cores. Defaults to the `MSVS_THREADS` environment variable, or `0`.
@@ -211,6 +216,7 @@ impl Default for SimulationConfig {
                 cache_capacity_mb: 30_000.0,
                 ..EdgeConfig::default()
             },
+            faults: None,
             threads: default_threads(),
             seed: 0,
         }
@@ -263,6 +269,10 @@ impl SimulationConfig {
             }
         }
         self.collection.validate()?;
+        if let Some(plan) = &self.faults {
+            plan.validate()?;
+        }
+        self.scheme.degradation.validate()?;
         if self.scheme.demand.interval != self.interval {
             return Err(Error::invalid_config(
                 "scheme.demand.interval",
@@ -383,6 +393,12 @@ impl SimulationConfigBuilder {
     /// Per-BS radio accounting extension mode.
     pub fn per_bs_accounting(mut self, enabled: bool) -> Self {
         self.config.per_bs_accounting = enabled;
+        self
+    }
+
+    /// Fault-injection plan to run under.
+    pub fn faults(mut self, plan: msvs_faults::FaultPlan) -> Self {
+        self.config.faults = Some(plan);
         self
     }
 

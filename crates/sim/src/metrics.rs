@@ -47,6 +47,13 @@ pub struct IntervalRecord {
     /// Member-weighted mean representation level delivered (0 = 240p,
     /// 1 = 1080p): the QoE side of the radio/quality trade-off.
     pub mean_level: f64,
+    /// Whether the prediction degraded to the historical-mean fallback
+    /// because fresh-twin coverage fell below the configured threshold
+    /// (always `false` outside fault-injection runs).
+    pub degraded: bool,
+    /// Fresh-twin coverage at prediction time, when the degradation
+    /// ladder was armed (`None` outside fault-injection runs).
+    pub twin_coverage: Option<f64>,
     /// Reservation scoring when a [`msvs_core::ReservationPolicy`] is
     /// configured.
     pub reservation: Option<ReservationOutcome>,
@@ -145,6 +152,50 @@ impl SimulationReport {
         }
     }
 
+    /// Number of scored intervals that degraded to the historical-mean
+    /// fallback.
+    pub fn degraded_intervals(&self) -> usize {
+        self.intervals.iter().filter(|r| r.degraded).count()
+    }
+
+    /// Mean radio accuracy over the intervals matching `degraded`, or
+    /// `None` when no interval matches.
+    pub fn mean_radio_accuracy_where(&self, degraded: bool) -> Option<f64> {
+        let vals: Vec<f64> = self
+            .intervals
+            .iter()
+            .filter(|r| r.degraded == degraded)
+            .map(|r| r.radio_accuracy)
+            .collect();
+        if vals.is_empty() {
+            None
+        } else {
+            Some(msvs_types::stats::mean(&vals))
+        }
+    }
+
+    /// Prediction-error delta of degraded intervals vs clean ones:
+    /// `clean accuracy - degraded accuracy` (positive = degradation cost
+    /// accuracy). `None` unless the run has both kinds of interval.
+    pub fn degraded_accuracy_delta(&self) -> Option<f64> {
+        Some(self.mean_radio_accuracy_where(false)? - self.mean_radio_accuracy_where(true)?)
+    }
+
+    /// Mean fresh-twin coverage over intervals where the degradation
+    /// ladder was armed; `None` outside fault-injection runs.
+    pub fn mean_twin_coverage(&self) -> Option<f64> {
+        let vals: Vec<f64> = self
+            .intervals
+            .iter()
+            .filter_map(|r| r.twin_coverage)
+            .collect();
+        if vals.is_empty() {
+            None
+        } else {
+            Some(msvs_types::stats::mean(&vals))
+        }
+    }
+
     /// Fraction of intervals whose radio reservation covered the actual
     /// demand (`None` when no reservation policy was configured).
     pub fn reservation_coverage(&self) -> Option<f64> {
@@ -206,6 +257,8 @@ mod tests {
             handovers: 3,
             grouping_stability: Some(0.8),
             mean_level: 0.75,
+            degraded: false,
+            twin_coverage: None,
             reservation: None,
         }
     }
@@ -231,5 +284,27 @@ mod tests {
         let report = SimulationReport::default();
         assert_eq!(report.mean_radio_accuracy(), 0.0);
         assert_eq!(report.mean_multicast_saving(), 0.0);
+        assert_eq!(report.degraded_intervals(), 0);
+        assert_eq!(report.degraded_accuracy_delta(), None);
+        assert_eq!(report.mean_twin_coverage(), None);
+    }
+
+    #[test]
+    fn degraded_metrics_split_by_flag() {
+        let mut degraded = record(1, 80.0, 100.0);
+        degraded.degraded = true;
+        degraded.twin_coverage = Some(0.4);
+        let mut clean = record(0, 95.0, 100.0);
+        clean.twin_coverage = Some(1.0);
+        let report = SimulationReport {
+            intervals: vec![clean, degraded],
+            ..Default::default()
+        };
+        assert_eq!(report.degraded_intervals(), 1);
+        assert!((report.mean_radio_accuracy_where(true).unwrap() - 0.8).abs() < 1e-12);
+        assert!((report.mean_radio_accuracy_where(false).unwrap() - 0.95).abs() < 1e-12);
+        let delta = report.degraded_accuracy_delta().unwrap();
+        assert!((delta - 0.15).abs() < 1e-12);
+        assert!((report.mean_twin_coverage().unwrap() - 0.7).abs() < 1e-12);
     }
 }

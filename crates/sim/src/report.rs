@@ -158,6 +158,8 @@ mod tests {
                 mean_level: 0.75,
                 predict_wall_ms: 12.0,
                 updates_sent: 1234,
+                degraded: false,
+                twin_coverage: None,
                 reservation: None,
             }],
             ..Default::default()

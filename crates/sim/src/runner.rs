@@ -4,19 +4,36 @@ use msvs_channel::Link;
 use msvs_core::demand::prediction_accuracy;
 use msvs_core::{DemandPredictor, PredictionContext, PredictionOutcome};
 use msvs_edge::EdgeServer;
+use msvs_faults::{Attribute, DelayQueue, FaultCounts, FaultInjector, FaultPlan, ReportFate};
 use msvs_mobility::{CampusMap, MobilityModel, RandomWaypoint};
 use msvs_par::Pool;
 use msvs_telemetry::{stage, Event, Telemetry};
 use msvs_types::{
     CpuCycles, Error, Position, ResourceBlocks, Result, SimDuration, SimTime, UserId,
 };
-use msvs_udt::{SyncTracker, UdtStore, UserDigitalTwin, WatchRecord};
+use msvs_udt::{
+    CollectionPolicy, RetryPolicy, SyncTracker, UdtStore, UserDigitalTwin, WatchRecord,
+};
 use msvs_video::{Catalog, UserProfile};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::config::SimulationConfig;
 use crate::metrics::{IntervalRecord, SimulationReport};
+
+/// Per-user fault-injection state: in-flight delayed reports plus the
+/// tallies and journal records accumulated *inside* the parallel
+/// collection region. Both are drained serially, in user-vector order,
+/// after the pool joins — journal emission from worker threads would make
+/// the event order depend on scheduling.
+#[derive(Default)]
+struct UserFaults {
+    delayed_channel: DelayQueue<f64>,
+    delayed_location: DelayQueue<Position>,
+    counts: FaultCounts,
+    /// `(t_ms, attribute, fate label)` per injected fault, tick order.
+    events: Vec<(u64, Attribute, &'static str)>,
+}
 
 /// Ground-truth state of one simulated user.
 struct SimUser {
@@ -27,6 +44,17 @@ struct SimUser {
     tracker: SyncTracker,
     /// SNR samples observed this interval (ground truth, every tick).
     interval_snrs: Vec<f64>,
+    /// Fault-injection state; untouched when no fault plan is active.
+    faults: UserFaults,
+}
+
+/// The resolved fault-injection machinery, present only when the
+/// configured plan actually injects something (a no-op plan is treated
+/// exactly like no plan, keeping fault-free runs bit-identical).
+struct FaultRuntime {
+    plan: FaultPlan,
+    injector: FaultInjector,
+    retry: RetryPolicy,
 }
 
 /// Builds a mobility model for one user according to the configured mix.
@@ -92,6 +120,8 @@ pub struct Simulation {
     now: SimTime,
     intervals_run: usize,
     updates_sent_before: u64,
+    retries_sent_before: u64,
+    faults: Option<FaultRuntime>,
     churn_rng: StdRng,
     churned_users: u64,
     prev_assignments: Option<std::collections::HashMap<UserId, usize>>,
@@ -176,6 +206,7 @@ impl Simulation {
                 rng: StdRng::seed_from_u64(config.seed.wrapping_add(5000 + u as u64)),
                 tracker: SyncTracker::new(),
                 interval_snrs: Vec::new(),
+                faults: UserFaults::default(),
             });
         }
         let telemetry = Telemetry::new();
@@ -186,6 +217,20 @@ impl Simulation {
             seed: config.seed,
         });
         let churn_rng = StdRng::seed_from_u64(config.seed ^ 0xC0FF_EE00);
+        // A no-op plan builds no runtime: fault hooks stay cold and the
+        // run is bit-identical to one with `faults: None`.
+        let faults = config
+            .faults
+            .clone()
+            .filter(|p| !p.is_noop())
+            .map(|plan| FaultRuntime {
+                injector: FaultInjector::new(&plan, config.seed),
+                retry: RetryPolicy {
+                    max_attempts: plan.retry.max_attempts,
+                    backoff: plan.retry.backoff,
+                },
+                plan,
+            });
         Ok(Self {
             config,
             map,
@@ -200,6 +245,8 @@ impl Simulation {
             now: SimTime::ZERO,
             intervals_run: 0,
             updates_sent_before: 0,
+            retries_sent_before: 0,
+            faults,
             churn_rng,
             churned_users: 0,
             prev_assignments: None,
@@ -296,8 +343,37 @@ impl Simulation {
             interval: index as u64,
         });
         self.apply_churn();
+        self.apply_scheduled_faults(index as u64);
         self.collect_phase();
         self.scored_interval(index)
+    }
+
+    /// Fires the fault plan's interval-scheduled faults: churn bursts
+    /// (mass leave/join on top of the baseline churn) and edge brownouts
+    /// (reduced cache capacity for the interval's serves).
+    fn apply_scheduled_faults(&mut self, index: u64) {
+        let Some(rt) = &self.faults else { return };
+        let burst = rt.plan.churn_at(index);
+        let scale = rt.plan.brownout_scale_at(index);
+        if let Some(fraction) = burst {
+            let n = (self.users.len() as f64 * fraction).floor() as usize;
+            let replaced = self.replace_users(n);
+            self.telemetry.emit(Event::ChurnBurst {
+                interval: index,
+                replaced,
+            });
+        }
+        if scale < 1.0 {
+            self.edge.set_capacity_scale(scale);
+            self.telemetry.emit(Event::BrownoutApplied {
+                interval: index,
+                capacity_scale: scale,
+            });
+        } else if self.edge.cache().capacity_scale() < 1.0 {
+            // Brownout over: capacity returns, the cache refills through
+            // normal inserts.
+            self.edge.set_capacity_scale(1.0);
+        }
     }
 
     /// Total users replaced by churn so far.
@@ -310,8 +386,15 @@ impl Simulation {
     /// predictor has to cope with cold-started users mid-run).
     fn apply_churn(&mut self) {
         let n = (self.users.len() as f64 * self.config.churn_rate).floor() as usize;
+        self.replace_users(n);
+    }
+
+    /// Replaces `n` uniformly drawn users with fresh arrivals, returning
+    /// how many were replaced. Shared by baseline churn and fault-plan
+    /// churn bursts (both consume the same churn RNG stream).
+    fn replace_users(&mut self, n: usize) -> u64 {
         if n == 0 {
-            return;
+            return 0;
         }
         use rand::Rng as _;
         for _ in 0..n {
@@ -334,10 +417,13 @@ impl Simulation {
                 rng: StdRng::seed_from_u64(self.config.seed.wrapping_add(0xFEED_0000 + salt)),
                 tracker: SyncTracker::new(),
                 interval_snrs: Vec::new(),
+                faults: UserFaults::default(),
             };
         }
-        // Trackers were reset; rebase the signalling delta.
+        // Trackers were reset; rebase the signalling deltas.
         self.updates_sent_before = self.users.iter().map(|u| u.tracker.updates_sent()).sum();
+        self.retries_sent_before = self.users.iter().map(|u| u.tracker.retries_sent()).sum();
+        n as u64
     }
 
     /// Collection phase: advance mobility tick by tick across the
@@ -358,6 +444,7 @@ impl Simulation {
         let store = &self.store;
         let start = self.now;
         let pool = self.pool;
+        let faults = self.faults.as_ref();
         // Parallel per-user simulation of the whole interval's collection.
         let ingest_timer = self.telemetry.stage_timer(stage::UDT_INGEST);
         let stats = pool.for_each_mut(&mut self.users, |_, user| {
@@ -368,23 +455,30 @@ impl Simulation {
                 let dist = nearest_bs_distance(pos, bs);
                 let snr = link.sample_snr_db(&mut user.rng, dist);
                 user.interval_snrs.push(snr);
-                if user.tracker.channel_due(policy, t) {
-                    store
-                        .update_channel(user.id, t, snr)
-                        .expect("user twin registered at construction");
-                    user.tracker.mark_channel(t);
-                }
-                if user.tracker.location_due(policy, t) {
-                    store
-                        .update_location(user.id, t, pos)
-                        .expect("user twin registered at construction");
-                    user.tracker.mark_location(t);
-                }
-                if user.tracker.preference_due(policy, t) {
-                    store
-                        .with_twin_mut(user.id, |twin| twin.refresh_preference_from_watches(t, 0.4))
-                        .expect("user twin registered at construction");
-                    user.tracker.mark_preference(t);
+                match faults {
+                    None => {
+                        if user.tracker.channel_due(policy, t) {
+                            store
+                                .update_channel(user.id, t, snr)
+                                .expect("user twin registered at construction");
+                            user.tracker.mark_channel(t);
+                        }
+                        if user.tracker.location_due(policy, t) {
+                            store
+                                .update_location(user.id, t, pos)
+                                .expect("user twin registered at construction");
+                            user.tracker.mark_location(t);
+                        }
+                        if user.tracker.preference_due(policy, t) {
+                            store
+                                .with_twin_mut(user.id, |twin| {
+                                    twin.refresh_preference_from_watches(t, 0.4)
+                                })
+                                .expect("user twin registered at construction");
+                            user.tracker.mark_preference(t);
+                        }
+                    }
+                    Some(rt) => faulty_user_tick(user, rt, store, policy, t, tick, snr, pos),
                 }
             }
         });
@@ -400,9 +494,63 @@ impl Simulation {
             .set(stats.effective_parallelism());
         self.now = start + tick * steps;
         self.telemetry.set_now_ms(self.now.as_millis());
+        if self.faults.is_some() {
+            self.journal_faults();
+        }
         self.telemetry.emit(Event::CollectionCompleted {
             interval: self.intervals_run as u64,
             users: self.users.len() as u64,
+        });
+    }
+
+    /// Drains the per-user fault tallies accumulated inside the parallel
+    /// collection region and journals them serially, in user-vector order
+    /// with original fault timestamps — emitting from worker threads would
+    /// make the journal order depend on scheduling.
+    fn journal_faults(&mut self) {
+        let mut counts = FaultCounts::default();
+        for user in &mut self.users {
+            counts.add(user.faults.counts);
+            user.faults.counts = FaultCounts::default();
+            for (t_ms, attr, kind) in user.faults.events.drain(..) {
+                self.telemetry
+                    .counter("events_total", "FaultInjected")
+                    .inc();
+                self.telemetry.event(
+                    t_ms,
+                    Event::FaultInjected {
+                        user: u64::from(user.id.0),
+                        attribute: attr.label().to_string(),
+                        kind: kind.to_string(),
+                    },
+                );
+            }
+        }
+        let retries_total: u64 = self.users.iter().map(|u| u.tracker.retries_sent()).sum();
+        let retried = retries_total - self.retries_sent_before;
+        self.retries_sent_before = retries_total;
+        self.telemetry
+            .counter("fault_reports_total", "lost")
+            .add(counts.lost);
+        self.telemetry
+            .counter("fault_reports_total", "delayed")
+            .add(counts.delayed);
+        self.telemetry
+            .counter("fault_reports_total", "corrupted")
+            .add(counts.corrupted);
+        self.telemetry
+            .counter("fault_reports_total", "rejected")
+            .add(counts.rejected);
+        self.telemetry
+            .counter("fault_retries_total", "uplink")
+            .add(retried);
+        self.telemetry.emit(Event::FaultsInjected {
+            interval: self.intervals_run as u64,
+            lost: counts.lost,
+            delayed: counts.delayed,
+            corrupted: counts.corrupted,
+            rejected: counts.rejected,
+            retried,
         });
     }
 
@@ -418,6 +566,7 @@ impl Simulation {
             cache: self.edge.cache(),
             transcode: &TRANSCODE,
             link: &self.link,
+            now: self.now,
         };
         let prediction = self.predictor.predict(&ctx)?;
         let predict_wall_ms = predict_timer.stop();
@@ -431,6 +580,21 @@ impl Simulation {
             )
         })?;
         let (predicted_radio, predicted_computing) = (prediction.radio, prediction.computing);
+        let degradation = prediction.degradation;
+        if scored {
+            if let Some(d) = degradation {
+                if d.degraded {
+                    self.telemetry
+                        .counter("degraded_intervals_total", "all")
+                        .inc();
+                }
+                self.telemetry.emit(Event::PredictionDegraded {
+                    interval: index as u64,
+                    coverage: d.coverage,
+                    margin: d.margin,
+                });
+            }
+        }
 
         // The plan follows whichever predictor is being scored: group
         // shares come from the scheme's outcome, but totals are rescaled
@@ -438,7 +602,9 @@ impl Simulation {
         let reservation_plan = match &self.config.reservation {
             Some(policy) => {
                 let mut plan = msvs_core::plan_reservation(&outcome, policy)?;
-                let pad = 1.0 + policy.headroom;
+                // Degradation widens the safety margin proportionally to
+                // the missing twin coverage.
+                let pad = (1.0 + policy.headroom) * degradation.map_or(1.0, |d| d.margin);
                 let scale = |total: f64, target: f64| {
                     if total > 0.0 {
                         target * pad / total
@@ -499,11 +665,12 @@ impl Simulation {
         let mut handovers = 0u64;
         for user in &self.users {
             let pos = user.mobility.position();
+            // total_cmp sorts non-finite distances last: a corrupted
+            // position picks a deterministic BS instead of panicking.
             let bs = (0..self.bs_positions.len())
                 .min_by(|&a, &b| {
                     pos.distance_sq(self.bs_positions[a])
-                        .partial_cmp(&pos.distance_sq(self.bs_positions[b]))
-                        .expect("finite distances")
+                        .total_cmp(&pos.distance_sq(self.bs_positions[b]))
                 })
                 .expect("at least one BS");
             if let Some(&prev) = self.prev_bs.get(&user.id) {
@@ -574,6 +741,8 @@ impl Simulation {
             handovers,
             grouping_stability,
             mean_level,
+            degraded: degradation.is_some_and(|d| d.degraded),
+            twin_coverage: degradation.map(|d| d.coverage),
             reservation,
         };
         if scored {
@@ -643,8 +812,7 @@ impl Simulation {
                     (0..n_bs)
                         .min_by(|&a, &b| {
                             pos.distance_sq(self.bs_positions[a])
-                                .partial_cmp(&pos.distance_sq(self.bs_positions[b]))
-                                .expect("finite distances")
+                                .total_cmp(&pos.distance_sq(self.bs_positions[b]))
                         })
                         .expect("at least one BS")
                 })
@@ -747,6 +915,148 @@ impl Simulation {
     }
 }
 
+/// One user's collection tick under an active fault plan.
+///
+/// Mirrors the clean path in `collect_phase` exactly, except that every
+/// due uplink report is routed through the fate oracle first: delivered,
+/// lost (retry scheduled with backoff), delayed (buffered, delivered late
+/// with its original timestamp), or corrupted (implausible payload the
+/// twin may reject). Preference refreshes are control-plane triggers, so
+/// only loss applies to them. Runs inside the parallel region — it must
+/// not touch shared telemetry; tallies and journal records accumulate in
+/// `user.faults` and are drained serially afterwards.
+#[allow(clippy::too_many_arguments)]
+fn faulty_user_tick(
+    user: &mut SimUser,
+    rt: &FaultRuntime,
+    store: &UdtStore,
+    policy: &CollectionPolicy,
+    t: SimTime,
+    tick: SimDuration,
+    snr: f64,
+    pos: Position,
+) {
+    // Delayed reports that are now due reach the twin late, carrying their
+    // original sample timestamps (so staleness accounting sees the gap).
+    for (sampled_at, v) in user.faults.delayed_channel.drain_due(t) {
+        let ok = store
+            .update_channel(user.id, sampled_at, v)
+            .expect("user twin registered at construction");
+        if !ok {
+            user.faults.counts.rejected += 1;
+        }
+    }
+    for (sampled_at, p) in user.faults.delayed_location.drain_due(t) {
+        let ok = store
+            .update_location(user.id, sampled_at, p)
+            .expect("user twin registered at construction");
+        if !ok {
+            user.faults.counts.rejected += 1;
+        }
+    }
+    let t_ms = t.as_millis();
+    if user.tracker.channel_due(policy, t) {
+        match rt.injector.fate(user.id.0, t_ms, Attribute::Channel) {
+            ReportFate::Deliver => {
+                store
+                    .update_channel(user.id, t, snr)
+                    .expect("user twin registered at construction");
+                user.tracker.mark_channel(t);
+            }
+            ReportFate::Lose => {
+                user.faults.counts.lost += 1;
+                user.faults.events.push((t_ms, Attribute::Channel, "lose"));
+                user.tracker.mark_channel_lost(t, &rt.retry);
+            }
+            ReportFate::Delay(n) => {
+                user.faults.counts.delayed += 1;
+                user.faults.events.push((t_ms, Attribute::Channel, "delay"));
+                if !user.faults.delayed_channel.push(t + tick * n, t, snr) {
+                    // Queue overflow: the report never arrives.
+                    user.faults.counts.lost += 1;
+                }
+                user.tracker.mark_channel(t);
+            }
+            ReportFate::Corrupt => {
+                user.faults.counts.corrupted += 1;
+                user.faults
+                    .events
+                    .push((t_ms, Attribute::Channel, "corrupt"));
+                let v = rt
+                    .injector
+                    .corrupt_value(user.id.0, t_ms, Attribute::Channel);
+                let ok = store
+                    .update_channel(user.id, t, v)
+                    .expect("user twin registered at construction");
+                if !ok {
+                    user.faults.counts.rejected += 1;
+                }
+                user.tracker.mark_channel(t);
+            }
+        }
+    }
+    if user.tracker.location_due(policy, t) {
+        match rt.injector.fate(user.id.0, t_ms, Attribute::Location) {
+            ReportFate::Deliver => {
+                store
+                    .update_location(user.id, t, pos)
+                    .expect("user twin registered at construction");
+                user.tracker.mark_location(t);
+            }
+            ReportFate::Lose => {
+                user.faults.counts.lost += 1;
+                user.faults.events.push((t_ms, Attribute::Location, "lose"));
+                user.tracker.mark_location_lost(t, &rt.retry);
+            }
+            ReportFate::Delay(n) => {
+                user.faults.counts.delayed += 1;
+                user.faults
+                    .events
+                    .push((t_ms, Attribute::Location, "delay"));
+                if !user.faults.delayed_location.push(t + tick * n, t, pos) {
+                    user.faults.counts.lost += 1;
+                }
+                user.tracker.mark_location(t);
+            }
+            ReportFate::Corrupt => {
+                user.faults.counts.corrupted += 1;
+                user.faults
+                    .events
+                    .push((t_ms, Attribute::Location, "corrupt"));
+                let v = rt
+                    .injector
+                    .corrupt_value(user.id.0, t_ms, Attribute::Location);
+                let ok = store
+                    .update_location(user.id, t, Position::new(v, v))
+                    .expect("user twin registered at construction");
+                if !ok {
+                    user.faults.counts.rejected += 1;
+                }
+                user.tracker.mark_location(t);
+            }
+        }
+    }
+    if user.tracker.preference_due(policy, t) {
+        match rt.injector.fate(user.id.0, t_ms, Attribute::Preference) {
+            ReportFate::Lose => {
+                user.faults.counts.lost += 1;
+                user.faults
+                    .events
+                    .push((t_ms, Attribute::Preference, "lose"));
+                user.tracker.mark_preference_lost(t, &rt.retry);
+            }
+            // A preference refresh is a control-plane trigger with no
+            // payload to delay or corrupt: every other fate delivers.
+            _ => {
+                store
+                    .with_twin_mut(user.id, |twin| twin.refresh_preference_from_watches(t, 0.4))
+                    .expect("user twin registered at construction");
+                user.tracker.mark_preference(t);
+            }
+        }
+    }
+}
+
 /// Stamps the derived scheme fields (BS layout, map dims, accounting mode,
 /// thread count) into `config` and resolves the worker pool. Must run
 /// before the predictor is built so the scheme sees the final values.
@@ -759,6 +1069,11 @@ fn resolve_scenario(config: &mut SimulationConfig) -> (CampusMap, Vec<Position>,
     config.scheme.per_bs_accounting = config.per_bs_accounting;
     config.scheme.map_width = map.width();
     config.scheme.map_height = map.height();
+    // An active fault plan arms the graceful-degradation ladder; without
+    // one the scheme keeps its historical (signal-free) behaviour.
+    if config.faults.as_ref().is_some_and(|p| !p.is_noop()) {
+        config.scheme.degradation.enabled = true;
+    }
     let pool = if config.threads == 1 {
         Pool::serial()
     } else {
@@ -778,10 +1093,14 @@ fn video_bitrate(video: &msvs_video::Video, level: msvs_types::RepresentationLev
 }
 
 /// Distance from `pos` to the nearest base station.
+///
+/// `total_cmp` tolerates non-finite distances (NaN sorts last), so a
+/// corrupted position yields a garbage-but-crash-free distance instead of
+/// a panic; identical ordering for the finite distances real runs see.
 fn nearest_bs_distance(pos: Position, bs: &[Position]) -> msvs_types::Meters {
     bs.iter()
         .map(|b| pos.distance_to(*b))
-        .min_by(|a, b| a.value().partial_cmp(&b.value()).expect("finite distances"))
+        .min_by(|a, b| a.value().total_cmp(&b.value()))
         .expect("at least one BS")
 }
 

@@ -50,6 +50,31 @@ pub enum Event {
         qoe: f64,
         hit_ratio: f64,
     },
+    /// One uplink status report was faulted (timestamp = report time).
+    FaultInjected {
+        user: u64,
+        attribute: String,
+        kind: String,
+    },
+    /// Per-interval fault-injection tallies after the collection sweep.
+    FaultsInjected {
+        interval: u64,
+        lost: u64,
+        delayed: u64,
+        corrupted: u64,
+        rejected: u64,
+        retried: u64,
+    },
+    /// A scheduled churn burst replaced part of the population.
+    ChurnBurst { interval: u64, replaced: u64 },
+    /// The edge cache capacity changed for a brownout window.
+    BrownoutApplied { interval: u64, capacity_scale: f64 },
+    /// The predictor fell back to its degraded path for an interval.
+    PredictionDegraded {
+        interval: u64,
+        coverage: f64,
+        margin: f64,
+    },
 }
 
 impl Event {
@@ -66,6 +91,11 @@ impl Event {
             Event::CacheEvicted { .. } => "CacheEvicted",
             Event::TrainingStepped { .. } => "TrainingStepped",
             Event::IntervalCompleted { .. } => "IntervalCompleted",
+            Event::FaultInjected { .. } => "FaultInjected",
+            Event::FaultsInjected { .. } => "FaultsInjected",
+            Event::ChurnBurst { .. } => "ChurnBurst",
+            Event::BrownoutApplied { .. } => "BrownoutApplied",
+            Event::PredictionDegraded { .. } => "PredictionDegraded",
         }
     }
 
@@ -131,6 +161,50 @@ impl Event {
                 ("qoe", Json::Num(*qoe)),
                 ("hit_ratio", Json::Num(*hit_ratio)),
             ],
+            Event::FaultInjected {
+                user,
+                attribute,
+                kind,
+            } => vec![
+                ("user", Json::Num(*user as f64)),
+                ("attribute", Json::Str(attribute.clone())),
+                ("kind", Json::Str(kind.clone())),
+            ],
+            Event::FaultsInjected {
+                interval,
+                lost,
+                delayed,
+                corrupted,
+                rejected,
+                retried,
+            } => vec![
+                ("interval", Json::Num(*interval as f64)),
+                ("lost", Json::Num(*lost as f64)),
+                ("delayed", Json::Num(*delayed as f64)),
+                ("corrupted", Json::Num(*corrupted as f64)),
+                ("rejected", Json::Num(*rejected as f64)),
+                ("retried", Json::Num(*retried as f64)),
+            ],
+            Event::ChurnBurst { interval, replaced } => vec![
+                ("interval", Json::Num(*interval as f64)),
+                ("replaced", Json::Num(*replaced as f64)),
+            ],
+            Event::BrownoutApplied {
+                interval,
+                capacity_scale,
+            } => vec![
+                ("interval", Json::Num(*interval as f64)),
+                ("capacity_scale", Json::Num(*capacity_scale)),
+            ],
+            Event::PredictionDegraded {
+                interval,
+                coverage,
+                margin,
+            } => vec![
+                ("interval", Json::Num(*interval as f64)),
+                ("coverage", Json::Num(*coverage)),
+                ("margin", Json::Num(*margin)),
+            ],
         }
     }
 
@@ -191,6 +265,32 @@ impl Event {
                 interval: int("interval")?,
                 qoe: num("qoe")?,
                 hit_ratio: num("hit_ratio")?,
+            },
+            "FaultInjected" => Event::FaultInjected {
+                user: int("user")?,
+                attribute: text("attribute")?,
+                kind: text("kind")?,
+            },
+            "FaultsInjected" => Event::FaultsInjected {
+                interval: int("interval")?,
+                lost: int("lost")?,
+                delayed: int("delayed")?,
+                corrupted: int("corrupted")?,
+                rejected: int("rejected")?,
+                retried: int("retried")?,
+            },
+            "ChurnBurst" => Event::ChurnBurst {
+                interval: int("interval")?,
+                replaced: int("replaced")?,
+            },
+            "BrownoutApplied" => Event::BrownoutApplied {
+                interval: int("interval")?,
+                capacity_scale: num("capacity_scale")?,
+            },
+            "PredictionDegraded" => Event::PredictionDegraded {
+                interval: int("interval")?,
+                coverage: num("coverage")?,
+                margin: num("margin")?,
             },
             other => return Err(format!("unknown event '{other}'")),
         })
@@ -432,6 +532,32 @@ mod tests {
                 interval: 2,
                 qoe: 0.8,
                 hit_ratio: 0.6,
+            },
+            Event::FaultInjected {
+                user: 7,
+                attribute: "channel".into(),
+                kind: "lose".into(),
+            },
+            Event::FaultsInjected {
+                interval: 2,
+                lost: 10,
+                delayed: 4,
+                corrupted: 1,
+                rejected: 1,
+                retried: 6,
+            },
+            Event::ChurnBurst {
+                interval: 2,
+                replaced: 12,
+            },
+            Event::BrownoutApplied {
+                interval: 2,
+                capacity_scale: 0.35,
+            },
+            Event::PredictionDegraded {
+                interval: 2,
+                coverage: 0.6,
+                margin: 1.2,
             },
         ];
         for event in variants {

@@ -34,5 +34,5 @@ pub mod twin;
 
 pub use attribute::{TimeSeries, WatchRecord};
 pub use store::UdtStore;
-pub use sync::{CollectionPolicy, SyncTracker};
+pub use sync::{CollectionPolicy, RetryPolicy, SyncTracker};
 pub use twin::{FeatureWindow, UserDigitalTwin};

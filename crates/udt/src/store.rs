@@ -113,19 +113,22 @@ impl UdtStore {
             .ok_or_else(|| Error::not_found("user twin", user))
     }
 
-    /// Records a channel sample for `user`.
+    /// Records a channel sample for `user`. Returns whether the twin
+    /// accepted the sample (non-finite/implausible payloads are rejected;
+    /// see [`UserDigitalTwin::update_channel`]).
     ///
     /// # Errors
     /// Returns [`Error::NotFound`] for an unregistered user.
-    pub fn update_channel(&self, user: UserId, at: SimTime, snr_db: f64) -> Result<()> {
+    pub fn update_channel(&self, user: UserId, at: SimTime, snr_db: f64) -> Result<bool> {
         self.with_twin_mut(user, |t| t.update_channel(at, snr_db))
     }
 
-    /// Records a location sample for `user`.
+    /// Records a location sample for `user`. Returns whether the twin
+    /// accepted the sample.
     ///
     /// # Errors
     /// Returns [`Error::NotFound`] for an unregistered user.
-    pub fn update_location(&self, user: UserId, at: SimTime, position: Position) -> Result<()> {
+    pub fn update_location(&self, user: UserId, at: SimTime, position: Position) -> Result<bool> {
         self.with_twin_mut(user, |t| t.update_location(at, position))
     }
 
@@ -135,6 +138,29 @@ impl UdtStore {
     /// Returns [`Error::NotFound`] for an unregistered user.
     pub fn record_watch(&self, user: UserId, at: SimTime, record: WatchRecord) -> Result<()> {
         self.with_twin_mut(user, |t| t.record_watch(at, record))
+    }
+
+    /// Fraction of registered twins whose fast attributes (channel and
+    /// location) were both updated within `horizon` of `now` — the
+    /// fresh-data coverage the degradation ladder gates on. `0.0` for an
+    /// empty store. Order-independent (a pure count), so deterministic
+    /// regardless of shard iteration order.
+    pub fn fresh_fraction(&self, now: SimTime, horizon: msvs_types::SimDuration) -> f64 {
+        let mut fresh = 0usize;
+        let mut total = 0usize;
+        for shard in &self.shards {
+            for twin in Self::read(shard).values() {
+                total += 1;
+                if twin.is_fresh(now, horizon) {
+                    fresh += 1;
+                }
+            }
+        }
+        if total == 0 {
+            0.0
+        } else {
+            fresh as f64 / total as f64
+        }
     }
 
     /// Clones every twin out (snapshot for offline analysis).
@@ -183,6 +209,37 @@ mod tests {
         }
         let ids: Vec<u32> = store.user_ids().into_iter().map(u32::from).collect();
         assert_eq!(ids, vec![2, 4, 17, 30, 99]);
+    }
+
+    #[test]
+    fn fresh_fraction_counts_recent_twins() {
+        use msvs_types::SimDuration;
+        let store = UdtStore::new();
+        assert_eq!(
+            store.fresh_fraction(SimTime::ZERO, SimDuration::from_secs(5)),
+            0.0
+        );
+        for id in 0..4u32 {
+            store.insert(UserDigitalTwin::new(UserId(id)));
+        }
+        // Two twins fully fresh, one channel-only, one empty.
+        for id in [0u32, 1] {
+            store
+                .update_channel(UserId(id), SimTime::from_secs(10), 8.0)
+                .unwrap();
+            store
+                .update_location(UserId(id), SimTime::from_secs(10), Position::new(1.0, 2.0))
+                .unwrap();
+        }
+        store
+            .update_channel(UserId(2), SimTime::from_secs(10), 8.0)
+            .unwrap();
+        let now = SimTime::from_secs(12);
+        assert_eq!(store.fresh_fraction(now, SimDuration::from_secs(5)), 0.5);
+        assert_eq!(
+            store.fresh_fraction(SimTime::from_secs(60), SimDuration::from_secs(5)),
+            0.0
+        );
     }
 
     #[test]

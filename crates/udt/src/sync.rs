@@ -71,6 +71,56 @@ impl CollectionPolicy {
     }
 }
 
+/// Bounded exponential backoff for lost uplink reports.
+///
+/// After a loss, the next attempt is scheduled `backoff` later, doubling
+/// per further loss in the same episode, up to `max_attempts` retries —
+/// so a lost report for a slow attribute (preference, every 60 s) is
+/// re-sent within seconds instead of waiting out the full period.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RetryPolicy {
+    /// Maximum retries per loss episode (`0` disables retry).
+    pub max_attempts: u32,
+    /// Backoff before the first retry; doubles per attempt.
+    pub backoff: SimDuration,
+}
+
+impl Default for RetryPolicy {
+    /// Three attempts, 2 s initial backoff.
+    fn default() -> Self {
+        Self {
+            max_attempts: 3,
+            backoff: SimDuration::from_secs(2),
+        }
+    }
+}
+
+/// Per-attribute retry bookkeeping: when the next retry fires and how
+/// many attempts this loss episode has consumed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+struct RetryState {
+    next: Option<SimTime>,
+    attempts: u32,
+}
+
+impl RetryState {
+    fn due(&self, now: SimTime) -> bool {
+        self.next.is_some_and(|t| now >= t)
+    }
+
+    /// Schedules the next attempt after a loss at `now`, or gives the
+    /// episode up when attempts are exhausted.
+    fn schedule(&mut self, now: SimTime, policy: &RetryPolicy) {
+        if self.attempts < policy.max_attempts {
+            let backoff = policy.backoff * (1u64 << self.attempts.min(16));
+            self.attempts += 1;
+            self.next = Some(now + backoff);
+        } else {
+            *self = RetryState::default();
+        }
+    }
+}
+
 /// Tracks what is due for one user and tallies signalling cost.
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SyncTracker {
@@ -78,6 +128,10 @@ pub struct SyncTracker {
     last_location: Option<SimTime>,
     last_preference: Option<SimTime>,
     updates_sent: u64,
+    retry_channel: RetryState,
+    retry_location: RetryState,
+    retry_preference: RetryState,
+    retries_sent: u64,
 }
 
 impl SyncTracker {
@@ -87,41 +141,109 @@ impl SyncTracker {
     }
 
     /// Total updates recorded by this tracker (signalling cost proxy).
+    /// Lost sends count too — the uplink was used either way.
     pub fn updates_sent(&self) -> u64 {
         self.updates_sent
     }
 
-    /// Whether a channel sample is due at `now` under `policy`.
+    /// How many of those updates were retries of lost reports (the extra
+    /// signalling the retry policy costs).
+    pub fn retries_sent(&self) -> u64 {
+        self.retries_sent
+    }
+
+    /// Whether a channel sample is due at `now` under `policy` (regular
+    /// period elapsed, or a retry of a lost report is scheduled).
     pub fn channel_due(&self, policy: &CollectionPolicy, now: SimTime) -> bool {
-        due(self.last_channel, policy.channel_every, now)
+        due(self.last_channel, policy.channel_every, now) || self.retry_channel.due(now)
     }
 
     /// Whether a location sample is due.
     pub fn location_due(&self, policy: &CollectionPolicy, now: SimTime) -> bool {
-        due(self.last_location, policy.location_every, now)
+        due(self.last_location, policy.location_every, now) || self.retry_location.due(now)
     }
 
     /// Whether a preference refresh is due.
     pub fn preference_due(&self, policy: &CollectionPolicy, now: SimTime) -> bool {
-        due(self.last_preference, policy.preference_every, now)
+        due(self.last_preference, policy.preference_every, now) || self.retry_preference.due(now)
+    }
+
+    /// Counts the send; a pending retry episode means this send *was* the
+    /// retry.
+    fn count_send(updates: &mut u64, retries: &mut u64, retry: &RetryState) {
+        *updates += 1;
+        if retry.attempts > 0 {
+            *retries += 1;
+        }
     }
 
     /// Marks the channel attribute as collected at `now`.
     pub fn mark_channel(&mut self, now: SimTime) {
+        Self::count_send(
+            &mut self.updates_sent,
+            &mut self.retries_sent,
+            &self.retry_channel,
+        );
         self.last_channel = Some(now);
-        self.updates_sent += 1;
+        self.retry_channel = RetryState::default();
     }
 
     /// Marks the location attribute as collected at `now`.
     pub fn mark_location(&mut self, now: SimTime) {
+        Self::count_send(
+            &mut self.updates_sent,
+            &mut self.retries_sent,
+            &self.retry_location,
+        );
         self.last_location = Some(now);
-        self.updates_sent += 1;
+        self.retry_location = RetryState::default();
     }
 
     /// Marks the preference attribute as collected at `now`.
     pub fn mark_preference(&mut self, now: SimTime) {
+        Self::count_send(
+            &mut self.updates_sent,
+            &mut self.retries_sent,
+            &self.retry_preference,
+        );
         self.last_preference = Some(now);
-        self.updates_sent += 1;
+        self.retry_preference = RetryState::default();
+    }
+
+    /// Records that the channel report sent at `now` was lost in transit:
+    /// the send still cost signalling, the twin was not updated, and a
+    /// retry is scheduled per `policy`. The regular period restarts (the
+    /// BS does not know the report vanished).
+    pub fn mark_channel_lost(&mut self, now: SimTime, policy: &RetryPolicy) {
+        Self::count_send(
+            &mut self.updates_sent,
+            &mut self.retries_sent,
+            &self.retry_channel,
+        );
+        self.last_channel = Some(now);
+        self.retry_channel.schedule(now, policy);
+    }
+
+    /// Records a lost location report (see [`Self::mark_channel_lost`]).
+    pub fn mark_location_lost(&mut self, now: SimTime, policy: &RetryPolicy) {
+        Self::count_send(
+            &mut self.updates_sent,
+            &mut self.retries_sent,
+            &self.retry_location,
+        );
+        self.last_location = Some(now);
+        self.retry_location.schedule(now, policy);
+    }
+
+    /// Records a lost preference report (see [`Self::mark_channel_lost`]).
+    pub fn mark_preference_lost(&mut self, now: SimTime, policy: &RetryPolicy) {
+        Self::count_send(
+            &mut self.updates_sent,
+            &mut self.retries_sent,
+            &self.retry_preference,
+        );
+        self.last_preference = Some(now);
+        self.retry_preference.schedule(now, policy);
     }
 }
 
@@ -163,6 +285,68 @@ mod tests {
         tracker.mark_location(SimTime::ZERO);
         tracker.mark_preference(SimTime::ZERO);
         assert_eq!(tracker.updates_sent(), 3);
+    }
+
+    #[test]
+    fn lost_reports_retry_with_backoff() {
+        let mut tracker = SyncTracker::new();
+        let policy = CollectionPolicy {
+            preference_every: SimDuration::from_secs(60),
+            ..Default::default()
+        };
+        let retry = RetryPolicy {
+            max_attempts: 2,
+            backoff: SimDuration::from_secs(2),
+        };
+        // The report at t=0 is lost: not due again until the 2 s backoff.
+        tracker.mark_preference_lost(SimTime::ZERO, &retry);
+        assert_eq!(tracker.updates_sent(), 1, "the lost send cost signalling");
+        assert!(!tracker.preference_due(&policy, SimTime::from_secs(1)));
+        assert!(tracker.preference_due(&policy, SimTime::from_secs(2)));
+        // The retry is lost too: backoff doubles to 4 s.
+        tracker.mark_preference_lost(SimTime::from_secs(2), &retry);
+        assert_eq!(tracker.retries_sent(), 1, "the second send was a retry");
+        assert!(!tracker.preference_due(&policy, SimTime::from_secs(5)));
+        assert!(tracker.preference_due(&policy, SimTime::from_secs(6)));
+        // The second retry succeeds; the episode clears.
+        tracker.mark_preference(SimTime::from_secs(6));
+        assert_eq!(tracker.retries_sent(), 2);
+        assert_eq!(tracker.updates_sent(), 3);
+        assert!(!tracker.preference_due(&policy, SimTime::from_secs(30)));
+        assert!(tracker.preference_due(&policy, SimTime::from_secs(66)));
+    }
+
+    #[test]
+    fn retry_attempts_are_bounded() {
+        let mut tracker = SyncTracker::new();
+        let policy = CollectionPolicy::default();
+        let retry = RetryPolicy {
+            max_attempts: 1,
+            backoff: SimDuration::from_secs(2),
+        };
+        tracker.mark_preference_lost(SimTime::ZERO, &retry);
+        // The single allowed retry is lost as well: the episode is given
+        // up, and only the regular 60 s period can trigger the next send.
+        tracker.mark_preference_lost(SimTime::from_secs(2), &retry);
+        assert!(!tracker.preference_due(&policy, SimTime::from_secs(30)));
+        assert!(tracker.preference_due(&policy, SimTime::from_secs(62)));
+    }
+
+    #[test]
+    fn zero_attempts_disables_retry() {
+        let mut tracker = SyncTracker::new();
+        let policy = CollectionPolicy::default();
+        let retry = RetryPolicy {
+            max_attempts: 0,
+            backoff: SimDuration::from_secs(2),
+        };
+        tracker.mark_channel_lost(SimTime::ZERO, &retry);
+        assert!(!tracker.channel_due(&policy, SimTime(500)));
+        assert!(
+            tracker.channel_due(&policy, SimTime::from_secs(1)),
+            "regular period"
+        );
+        assert_eq!(tracker.retries_sent(), 0);
     }
 
     #[test]

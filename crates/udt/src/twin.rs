@@ -73,21 +73,34 @@ impl UserDigitalTwin {
         self.user
     }
 
-    /// Records a channel-condition sample (SNR in dB).
+    /// SNR plausibility bound, dB: anything outside `±100` is a corrupted
+    /// report, not physics.
+    const SNR_PLAUSIBLE_DB: f64 = 100.0;
+
+    /// Records a channel-condition sample (SNR in dB). Returns whether
+    /// the sample was accepted.
     ///
-    /// Non-finite samples (a corrupted report from a BS) are dropped: a
-    /// single NaN would otherwise poison every downstream mean, feature
-    /// window, and CNN weight.
-    pub fn update_channel(&mut self, at: SimTime, snr_db: f64) {
-        if snr_db.is_finite() {
+    /// Non-finite or wildly implausible samples (a corrupted report from a
+    /// BS) are rejected: a single NaN would otherwise poison every
+    /// downstream mean, feature window, and CNN weight. Callers count
+    /// rejections so corruption is visible in telemetry.
+    pub fn update_channel(&mut self, at: SimTime, snr_db: f64) -> bool {
+        if snr_db.is_finite() && snr_db.abs() <= Self::SNR_PLAUSIBLE_DB {
             self.channel_db.push(at, snr_db);
+            true
+        } else {
+            false
         }
     }
 
-    /// Records a location sample (non-finite coordinates are dropped).
-    pub fn update_location(&mut self, at: SimTime, position: Position) {
+    /// Records a location sample. Returns whether the sample was accepted
+    /// (non-finite coordinates are rejected).
+    pub fn update_location(&mut self, at: SimTime, position: Position) -> bool {
         if position.x.is_finite() && position.y.is_finite() {
             self.location.push(at, position);
+            true
+        } else {
+            false
         }
     }
 
@@ -233,6 +246,26 @@ impl UserDigitalTwin {
         .into_iter()
         .flatten()
         .max()
+    }
+
+    /// Staleness of the channel attribute alone (`None` = never updated).
+    pub fn channel_staleness(&self, now: SimTime) -> Option<SimDuration> {
+        self.channel_db.staleness(now)
+    }
+
+    /// Staleness of the location attribute alone (`None` = never updated).
+    pub fn location_staleness(&self, now: SimTime) -> Option<SimDuration> {
+        self.location.staleness(now)
+    }
+
+    /// Whether this twin's fast attributes (channel and location) were
+    /// both updated within `horizon` of `now`. A twin with a missing
+    /// attribute is never fresh — the predictor's last-known-good
+    /// imputation (feature-window padding) covers it, but the data is
+    /// stale and degradation accounting should know.
+    pub fn is_fresh(&self, now: SimTime, horizon: SimDuration) -> bool {
+        let within = |s: Option<SimDuration>| s.is_some_and(|d| d <= horizon);
+        within(self.channel_staleness(now)) && within(self.location_staleness(now))
     }
 
     /// Extracts the fixed-size [`FeatureWindow`] ending at the newest data.
@@ -439,20 +472,49 @@ mod poison_tests {
     use super::*;
 
     #[test]
-    fn non_finite_updates_are_dropped() {
+    fn non_finite_updates_are_rejected() {
         let mut twin = UserDigitalTwin::new(UserId(4));
-        twin.update_channel(SimTime::from_secs(1), f64::NAN);
-        twin.update_channel(SimTime::from_secs(2), f64::INFINITY);
-        twin.update_channel(SimTime::from_secs(3), 12.0);
+        assert!(!twin.update_channel(SimTime::from_secs(1), f64::NAN));
+        assert!(!twin.update_channel(SimTime::from_secs(2), f64::INFINITY));
+        assert!(
+            !twin.update_channel(SimTime::from_secs(2), 1e6),
+            "implausible magnitudes are corruption, not physics"
+        );
+        assert!(twin.update_channel(SimTime::from_secs(3), 12.0));
         assert_eq!(twin.channel_series().len(), 1);
         assert_eq!(twin.latest_snr_db(), Some(12.0));
         assert_eq!(twin.mean_recent_snr_db(10), Some(12.0));
 
-        twin.update_location(SimTime::from_secs(1), Position::new(f64::NAN, 5.0));
-        twin.update_location(SimTime::from_secs(2), Position::new(5.0, f64::NEG_INFINITY));
-        twin.update_location(SimTime::from_secs(3), Position::new(5.0, 6.0));
+        assert!(!twin.update_location(SimTime::from_secs(1), Position::new(f64::NAN, 5.0)));
+        assert!(!twin.update_location(SimTime::from_secs(2), Position::new(5.0, f64::NEG_INFINITY)));
+        assert!(twin.update_location(SimTime::from_secs(3), Position::new(5.0, 6.0)));
         assert_eq!(twin.location_series().len(), 1);
         assert_eq!(twin.latest_position(), Some(Position::new(5.0, 6.0)));
+    }
+
+    #[test]
+    fn freshness_tracks_both_fast_attributes() {
+        let mut twin = UserDigitalTwin::new(UserId(6));
+        let horizon = SimDuration::from_secs(5);
+        assert!(
+            !twin.is_fresh(SimTime::from_secs(10), horizon),
+            "empty twin"
+        );
+        twin.update_channel(SimTime::from_secs(8), 10.0);
+        assert!(
+            !twin.is_fresh(SimTime::from_secs(10), horizon),
+            "location still missing"
+        );
+        twin.update_location(SimTime::from_secs(9), Position::new(1.0, 2.0));
+        assert!(twin.is_fresh(SimTime::from_secs(10), horizon));
+        assert_eq!(
+            twin.channel_staleness(SimTime::from_secs(10)),
+            Some(SimDuration::from_secs(2))
+        );
+        assert!(
+            !twin.is_fresh(SimTime::from_secs(20), horizon),
+            "both attributes aged out"
+        );
     }
 
     #[test]

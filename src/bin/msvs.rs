@@ -3,7 +3,7 @@
 //! ```text
 //! msvs run [--users N] [--intervals N] [--seed S] [--churn F]
 //!          [--per-bs] [--predictor scheme|naive|ewma] [--threads N]
-//!          [--csv PATH] [--journal PATH]
+//!          [--faults PROFILE] [--csv PATH] [--journal PATH]
 //! msvs report <journal.jsonl>
 //! msvs swiping [--users N] [--seed S]
 //! msvs reserve [--headroom F] [--users N] [--seed S]
@@ -14,6 +14,7 @@ use std::collections::BTreeMap;
 use std::process::ExitCode;
 
 use msvs::core::ReservationPolicy;
+use msvs::faults::FaultPlan;
 use msvs::sim::{report, DemandPredictorKind, Simulation, SimulationConfig, SimulationReport};
 use msvs::telemetry::{Event, EventJournal, RunManifest};
 use msvs::types::VideoCategory;
@@ -48,7 +49,7 @@ fn print_help() {
          USAGE:\n\
          \x20 msvs run     [--users N] [--intervals N] [--seed S] [--churn F]\n\
          \x20              [--per-bs] [--predictor scheme|naive|ewma] [--threads N]\n\
-         \x20              [--csv PATH] [--journal PATH]\n\
+         \x20              [--faults PROFILE] [--csv PATH] [--journal PATH]\n\
          \x20 msvs report  <journal.jsonl>             summarise a run's journal\n\
          \x20 msvs swiping [--users N] [--seed S]      print a group's swipe curves\n\
          \x20 msvs reserve [--headroom F] [--users N] [--seed S]\n\
@@ -59,8 +60,11 @@ fn print_help() {
          `--threads N` sizes the worker pool for the parallel hot paths\n\
          (0 = all cores; default from MSVS_THREADS, else all cores).\n\
          Seeded runs are bit-identical at any thread count.\n\
+         `--faults PROFILE` injects uplink faults from a built-in profile\n\
+         ({}) or a JSON file (see results/fault_profiles/).\n\
          `--journal` writes the telemetry event journal as JSONL (plus a\n\
-         run manifest next to it); `report` pretty-prints such a journal."
+         run manifest next to it); `report` pretty-prints such a journal.",
+        FaultPlan::BUILTINS.join(", ")
     );
 }
 
@@ -117,13 +121,34 @@ fn base_config(flags: &Flags<'_>) -> Result<SimulationConfig, String> {
     builder.build().map_err(|e| e.to_string())
 }
 
+/// Resolves `--faults` to a plan: a built-in profile name first, then a
+/// JSON profile file path.
+fn resolve_faults(raw: &str) -> Result<FaultPlan, String> {
+    if let Some(plan) = FaultPlan::builtin(raw) {
+        return Ok(plan);
+    }
+    let text = std::fs::read_to_string(raw).map_err(|e| {
+        format!(
+            "--faults `{raw}` is neither a built-in profile ({}) nor a readable file: {e}",
+            FaultPlan::BUILTINS.join(", ")
+        )
+    })?;
+    FaultPlan::parse(&text).map_err(|e| format!("{raw}: {e}"))
+}
+
 fn cmd_run(args: &[String]) -> Result<(), String> {
     let flags = Flags::new(args)?;
     // Fail before the (long) run rather than silently dropping the export.
     if flags.has("--journal") && flags.value("--journal").is_none() {
         return Err("--journal requires a path".into());
     }
-    let cfg = base_config(&flags)?;
+    let mut cfg = base_config(&flags)?;
+    if flags.has("--faults") {
+        let raw = flags.value("--faults").ok_or("--faults requires a value")?;
+        cfg.faults = Some(resolve_faults(raw)?);
+        cfg.validate().map_err(|e| e.to_string())?;
+    }
+    let with_faults = cfg.faults.as_ref().is_some_and(|p| !p.is_noop());
     let (n_users, n_intervals, seed) = (cfg.n_users, cfg.n_intervals, cfg.seed);
     // Drive the intervals by hand (rather than `Simulation::run`) so the
     // telemetry handle stays reachable for the journal export below.
@@ -144,6 +169,37 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         100.0 * result.mean_multicast_saving(),
         100.0 * result.waste_fraction(),
     );
+    if with_faults {
+        let count = |name: &str, label: &str| {
+            result
+                .telemetry
+                .counters
+                .iter()
+                .find(|(n, l, _)| n == name && l == label)
+                .map_or(0, |(_, _, v)| *v)
+        };
+        println!(
+            "faults: lost {} | delayed {} | corrupted {} | rejected {} | retried {}",
+            count("fault_reports_total", "lost"),
+            count("fault_reports_total", "delayed"),
+            count("fault_reports_total", "corrupted"),
+            count("fault_reports_total", "rejected"),
+            count("fault_retries_total", "uplink"),
+        );
+        let coverage = result
+            .mean_twin_coverage()
+            .map_or_else(|| "n/a".into(), |c| format!("{:.1}%", 100.0 * c));
+        let delta = result
+            .degraded_accuracy_delta()
+            .map_or_else(|| "n/a".into(), |d| format!("{:+.2}pp", 100.0 * d));
+        println!(
+            "degraded intervals {}/{} | twin coverage {} | accuracy delta vs clean {}",
+            result.degraded_intervals(),
+            result.intervals.len(),
+            coverage,
+            delta,
+        );
+    }
     if let Some(path) = flags.value("--csv") {
         std::fs::write(path, report::to_csv(&result)).map_err(|e| e.to_string())?;
         println!("wrote {path}");
@@ -367,6 +423,23 @@ mod tests {
         // One user cannot satisfy k_min.
         let raw = args(&["--users", "1"]);
         assert!(base_config(&Flags::new(&raw).unwrap()).is_err());
+    }
+
+    #[test]
+    fn resolve_faults_accepts_builtins_and_profiles() {
+        for name in FaultPlan::BUILTINS {
+            assert!(resolve_faults(name).is_ok(), "{name} must resolve");
+        }
+        assert!(resolve_faults("no-such-profile").is_err());
+        let path = std::env::temp_dir().join("msvs-cli-faults-test.json");
+        let json = FaultPlan::builtin("brownout")
+            .unwrap()
+            .to_json()
+            .to_string();
+        std::fs::write(&path, json).unwrap();
+        let plan = resolve_faults(path.to_str().unwrap()).unwrap();
+        assert_eq!(plan, FaultPlan::builtin("brownout").unwrap());
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

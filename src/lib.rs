@@ -77,3 +77,7 @@ pub use msvs_sim as sim;
 /// Metrics, stage timers, event journal and run manifests
 /// ([`msvs_telemetry`]).
 pub use msvs_telemetry as telemetry;
+
+/// Seeded, deterministic fault injection for the UDT uplink
+/// ([`msvs_faults`]).
+pub use msvs_faults as faults;

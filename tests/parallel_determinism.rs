@@ -97,6 +97,7 @@ impl DemandPredictor for ConstantPredictor {
             radio: ResourceBlocks(self.radio),
             computing: CpuCycles(self.computing),
             outcome: None,
+            degradation: None,
         })
     }
 }
