@@ -40,6 +40,16 @@ impl Default for KMeansConfig {
     }
 }
 
+/// Wall-clock breakdown of one Lloyd iteration, for tracing. The number
+/// of rounds is deterministic for a fixed seed; the durations are not.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RoundTiming {
+    /// Assignment sweep (parallel nearest-centroid), microseconds.
+    pub assign_us: u64,
+    /// Centroid update + empty-cluster repair, microseconds.
+    pub update_us: u64,
+}
+
 /// Outcome of a K-means fit.
 #[derive(Debug, Clone)]
 pub struct KMeansResult {
@@ -53,6 +63,10 @@ pub struct KMeansResult {
     pub iterations: usize,
     /// Whether the run converged before `max_iters`.
     pub converged: bool,
+    /// Per-iteration assign/update wall clock (one entry per Lloyd
+    /// round), so callers with a tracing layer can materialise child
+    /// spans without this crate depending on telemetry.
+    pub rounds: Vec<RoundTiming>,
 }
 
 impl KMeansResult {
@@ -145,16 +159,20 @@ impl KMeans {
         let mut assignments = vec![0usize; points.len()];
         let mut iterations = 0;
         let mut converged = false;
+        let mut rounds = Vec::new();
         let pool = self.assignment_pool(points.len());
 
         for iter in 0..self.config.max_iters {
             iterations = iter + 1;
             // Assignment step: independent per point, merged in point order,
             // so the outcome is identical at any thread count.
+            let assign_start = std::time::Instant::now();
             let nearest_all = pool.map(points, |_, p| nearest(p, &centroids));
             for (a, (best, _)) in assignments.iter_mut().zip(&nearest_all) {
                 *a = *best;
             }
+            let assign_us = assign_start.elapsed().as_micros() as u64;
+            let update_start = std::time::Instant::now();
             // Update step.
             let mut sums = vec![vec![0.0; dim]; k];
             let mut counts = vec![0usize; k];
@@ -189,6 +207,10 @@ impl KMeans {
                 movement += sq_dist(&centroids[c], &new);
                 centroids[c] = new;
             }
+            rounds.push(RoundTiming {
+                assign_us,
+                update_us: update_start.elapsed().as_micros() as u64,
+            });
             if movement <= self.config.tolerance {
                 converged = true;
                 break;
@@ -210,6 +232,7 @@ impl KMeans {
             inertia,
             iterations,
             converged,
+            rounds,
         })
     }
 
@@ -281,6 +304,20 @@ mod tests {
         }
         let sizes = result.cluster_sizes();
         assert_eq!(sizes, vec![30, 30, 30]);
+    }
+
+    #[test]
+    fn round_timings_match_iterations() {
+        let pts = blobs(&[(0.0, 0.0), (10.0, 0.0)], 20, 0.5, 11);
+        let result = KMeans::new(KMeansConfig {
+            k: 2,
+            seed: 9,
+            ..Default::default()
+        })
+        .fit(&pts)
+        .unwrap();
+        assert_eq!(result.rounds.len(), result.iterations);
+        assert!(result.iterations >= 1);
     }
 
     #[test]

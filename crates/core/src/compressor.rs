@@ -9,6 +9,7 @@
 
 use msvs_nn::{mse_loss, Adam, Conv1d, Dense, Flatten, Optimizer, Relu, Sequential, Tensor};
 use msvs_par::{ParStats, Pool};
+use msvs_telemetry::{stages, SpanAttrs, SpanCollector};
 use msvs_types::{Error, Result};
 use msvs_udt::FeatureWindow;
 
@@ -232,10 +233,17 @@ impl CnnCompressor {
             .collect())
     }
 
-    /// Parallel [`encode`](Self::encode): splits `windows` into chunks and
-    /// encodes them on the pool's workers, merging results back in window
-    /// order. Every network op is independent per batch row, so the output
-    /// is bit-identical to the serial `encode` at any thread count.
+    /// Windows per worker batch in [`encode_with`](Self::encode_with).
+    /// Fixed (not derived from the thread count) so the batch fan-out —
+    /// and the span tree recording it — is identical at any
+    /// `MSVS_THREADS`.
+    pub const ENCODE_BATCH: usize = 32;
+
+    /// Parallel [`encode`](Self::encode): splits `windows` into
+    /// fixed-size batches and encodes them on the pool's workers, merging
+    /// results back in window order. Every network op is independent per
+    /// batch row, so the output is bit-identical to the serial `encode`
+    /// at any thread count.
     ///
     /// # Errors
     /// Propagates shape errors from malformed windows.
@@ -243,6 +251,23 @@ impl CnnCompressor {
         &self,
         windows: &[FeatureWindow],
         pool: &Pool,
+    ) -> Result<(Vec<Vec<f64>>, ParStats)> {
+        self.encode_traced(windows, pool, None)
+    }
+
+    /// [`encode_with`](Self::encode_with), additionally recording one
+    /// `cnn_encode_batch` span per worker batch into `trace` — a
+    /// `(collector, parent span id)` pair. Worker spans are recorded into
+    /// per-batch scratches and adopted in batch index order after the
+    /// pool joins, so the merged span structure is deterministic.
+    ///
+    /// # Errors
+    /// Propagates shape errors from malformed windows.
+    pub fn encode_traced(
+        &self,
+        windows: &[FeatureWindow],
+        pool: &Pool,
+        trace: Option<(&SpanCollector, u64)>,
     ) -> Result<(Vec<Vec<f64>>, ParStats)> {
         if windows.is_empty() {
             return Ok((
@@ -255,11 +280,28 @@ impl CnnCompressor {
                 },
             ));
         }
-        let chunk = windows.len().div_ceil(pool.threads() * 4).max(1);
-        let chunks: Vec<&[FeatureWindow]> = windows.chunks(chunk).collect();
-        let (encoded, stats) = pool.map_stats(&chunks, |_, c| self.encode(c));
+        let chunks: Vec<&[FeatureWindow]> = windows.chunks(Self::ENCODE_BATCH).collect();
+        let collector = trace.map(|(c, _)| c);
+        let (encoded, stats) = pool.map_stats(&chunks, |i, c| match collector {
+            Some(collector) => {
+                let mut scratch = collector.scratch();
+                let out = scratch.record(
+                    stages::CNN_ENCODE_BATCH,
+                    SpanAttrs {
+                        batch: Some(i as u64),
+                        ..Default::default()
+                    },
+                    |_| self.encode(c),
+                );
+                (out, Some(scratch))
+            }
+            None => (self.encode(c), None),
+        });
         let mut out = Vec::with_capacity(windows.len());
-        for part in encoded {
+        for (part, scratch) in encoded {
+            if let (Some((collector, parent)), Some(scratch)) = (trace, scratch) {
+                collector.adopt(Some(parent), scratch);
+            }
             out.extend(part?);
         }
         Ok((out, stats))
@@ -441,6 +483,46 @@ mod tests {
         let (empty, stats) = comp.encode_with(&[], &Pool::new(4)).unwrap();
         assert!(empty.is_empty());
         assert_eq!(stats.tasks, 0);
+    }
+
+    #[test]
+    fn traced_encode_spans_one_batch_each_and_match_across_thread_counts() {
+        let mut comp = CnnCompressor::new(config()).unwrap();
+        let (windows, _) = archetype_windows(40, 6); // 80 windows -> 3 batches
+        comp.train(&windows).unwrap();
+        comp.freeze();
+        let serial = comp.encode(&windows).unwrap();
+        let structures: Vec<_> = [1usize, 4]
+            .into_iter()
+            .map(|threads| {
+                let collector = SpanCollector::new();
+                let parent = collector.enter(stages::CNN_FORWARD);
+                let (out, _) = comp
+                    .encode_traced(
+                        &windows,
+                        &Pool::new(threads),
+                        Some((&collector, parent.id())),
+                    )
+                    .unwrap();
+                drop(parent);
+                assert_eq!(out, serial, "threads={threads}");
+                let spans = collector.snapshot();
+                let batches: Vec<_> = spans
+                    .iter()
+                    .filter(|s| s.name == stages::CNN_ENCODE_BATCH)
+                    .collect();
+                assert_eq!(
+                    batches.len(),
+                    windows.len().div_ceil(CnnCompressor::ENCODE_BATCH)
+                );
+                assert!(batches.iter().all(|s| s.parent == Some(0)));
+                spans
+                    .iter()
+                    .map(msvs_telemetry::SpanRecord::structure)
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        assert_eq!(structures[0], structures[1]);
     }
 
     #[test]

@@ -280,12 +280,12 @@ impl GroupingEngine {
         let grouping = match self.config.strategy {
             GroupingStrategy::Ddqn => {
                 let state = self.state_of(features);
-                let select_timer = self
+                let select_scope = self
                     .telemetry
                     .as_ref()
-                    .map(|t| t.stage_timer(msvs_telemetry::stage::DDQN_SELECT_K));
+                    .map(|t| t.stage_scope(msvs_telemetry::stages::DDQN_SELECT_K));
                 let action = self.agent.act(&state);
-                drop(select_timer);
+                drop(select_scope);
                 let k = (self.config.k_min + action).min(k_cap);
                 let g = self.cluster(features, k)?;
                 self.agent.observe(Transition {
@@ -366,10 +366,11 @@ impl GroupingEngine {
     }
 
     fn cluster(&self, features: &[Vec<f64>], k: usize) -> Result<Grouping> {
-        let _timer = self
+        let scope = self
             .telemetry
             .as_ref()
-            .map(|t| t.stage_timer(msvs_telemetry::stage::KMEANS_FIT));
+            .map(|t| t.stage_scope(msvs_telemetry::stages::KMEANS_FIT));
+        let fit_start = self.telemetry.as_ref().map(|t| t.span_collector().now_us());
         let fit = KMeans::new(KMeansConfig {
             k,
             seed: self.config.seed ^ 0x5EED,
@@ -377,6 +378,37 @@ impl GroupingEngine {
             ..Default::default()
         })
         .fit(features)?;
+        // Materialise one assign/update child span per Lloyd round from
+        // the timings the cluster crate returns (it has no telemetry
+        // dependency). The round count is seed-deterministic, so the
+        // span structure stays thread-count invariant.
+        if let (Some(t), Some(scope), Some(start)) = (&self.telemetry, &scope, fit_start) {
+            let collector = t.span_collector();
+            let parent = Some(scope.span_id());
+            let mut cursor = start;
+            for (round, timing) in fit.rounds.iter().enumerate() {
+                let attrs = msvs_telemetry::SpanAttrs {
+                    batch: Some(round as u64),
+                    ..Default::default()
+                };
+                collector.record_manual(
+                    parent,
+                    msvs_telemetry::stages::KMEANS_ASSIGN,
+                    cursor,
+                    timing.assign_us,
+                    attrs,
+                );
+                cursor += timing.assign_us;
+                collector.record_manual(
+                    parent,
+                    msvs_telemetry::stages::KMEANS_UPDATE,
+                    cursor,
+                    timing.update_us,
+                    attrs,
+                );
+                cursor += timing.update_us;
+            }
+        }
         let sil = silhouette(features, &fit.assignments);
         Ok(Grouping {
             k,

@@ -284,9 +284,10 @@ impl DtAssistedPredictor {
         self.telemetry = Some(telemetry);
     }
 
-    /// Starts a stage timer when telemetry is attached.
-    fn stage_timer(&self, stage: &'static str) -> Option<msvs_telemetry::ScopedTimer> {
-        self.telemetry.as_ref().map(|t| t.stage_timer(stage))
+    /// Starts a stage scope (histogram + tracing span) when telemetry is
+    /// attached.
+    fn stage_scope(&self, stage: &'static str) -> Option<msvs_telemetry::StageScope> {
+        self.telemetry.as_ref().map(|t| t.stage_scope(stage))
     }
 
     /// The configuration in use.
@@ -327,19 +328,26 @@ impl DtAssistedPredictor {
     /// gauges when telemetry is attached.
     fn train_and_encode(&mut self, windows: &[msvs_udt::FeatureWindow]) -> Result<Vec<Vec<f64>>> {
         if !self.compressor.is_frozen() {
-            let _train_timer = self.stage_timer(msvs_telemetry::stage::CNN_TRAIN);
+            let _train_scope = self.stage_scope(msvs_telemetry::stages::CNN_TRAIN);
             self.compressor.train(windows)?;
             self.compressor.freeze();
         }
-        let forward_timer = self.stage_timer(msvs_telemetry::stage::CNN_FORWARD);
-        let (features, stats) = self.compressor.encode_with(windows, &self.pool)?;
-        drop(forward_timer);
+        let forward_scope = self.stage_scope(msvs_telemetry::stages::CNN_FORWARD);
+        // When tracing, each worker batch records a cnn_encode_batch span
+        // adopted under the cnn_forward span after the pool joins.
+        let trace = self
+            .telemetry
+            .as_ref()
+            .zip(forward_scope.as_ref())
+            .map(|(t, scope)| (t.span_collector(), scope.span_id()));
+        let (features, stats) = self.compressor.encode_traced(windows, &self.pool, trace)?;
+        drop(forward_scope);
         if let Some(t) = &self.telemetry {
-            t.gauge("par_threads", msvs_telemetry::stage::CNN_FORWARD)
+            t.gauge("par_threads", msvs_telemetry::stages::CNN_FORWARD)
                 .set(stats.threads as f64);
-            t.gauge("par_utilisation", msvs_telemetry::stage::CNN_FORWARD)
+            t.gauge("par_utilisation", msvs_telemetry::stages::CNN_FORWARD)
                 .set(stats.utilisation());
-            t.gauge("par_speedup", msvs_telemetry::stage::CNN_FORWARD)
+            t.gauge("par_speedup", msvs_telemetry::stages::CNN_FORWARD)
                 .set(stats.effective_parallelism());
         }
         Ok(features)
@@ -457,7 +465,9 @@ impl DtAssistedPredictor {
             let member_twins: Vec<&UserDigitalTwin> =
                 member_idx.iter().map(|&i| &twins[i]).collect();
             // Swiping abstraction from all members' watch histories.
-            let swiping_timer = self.stage_timer(msvs_telemetry::stage::SWIPING_ABSTRACTION);
+            let swiping_scope = self
+                .stage_scope(msvs_telemetry::stages::SWIPING_ABSTRACTION)
+                .map(|s| s.with_group(gid as u64));
             let mut abstraction = SwipingAbstraction::new();
             for t in &member_twins {
                 abstraction.ingest(t.watch_series().iter().map(|(_, r)| r));
@@ -467,7 +477,7 @@ impl DtAssistedPredictor {
             let group_pref = aggregate_preference(&prefs);
             let recommendation =
                 recommend_for_group(catalog, &group_pref, &self.config.recommender)?;
-            drop(swiping_timer);
+            drop(swiping_scope);
             // Member channel states and BS attachment (from twin data).
             let members: Vec<crate::demand::MemberState> = member_twins
                 .iter()
@@ -487,7 +497,9 @@ impl DtAssistedPredictor {
                     }
                 })
                 .collect();
-            let demand_timer = self.stage_timer(msvs_telemetry::stage::DEMAND_PREDICT);
+            let demand_scope = self
+                .stage_scope(msvs_telemetry::stages::DEMAND_PREDICT)
+                .map(|s| s.with_group(gid as u64));
             let prediction = predict_group_demand(
                 GroupId(gid as u32),
                 &members,
@@ -499,7 +511,7 @@ impl DtAssistedPredictor {
                 link,
                 &self.config.demand,
             )?;
-            drop(demand_timer);
+            drop(demand_scope);
             swiping.push(abstraction);
             recommendations.push(recommendation);
             groups.push(prediction);

@@ -178,12 +178,12 @@ impl EdgeServer {
             };
         }
         if let Some(higher) = self.cache.best_at_or_above(video.id, level) {
-            let timer = self
+            let scope = self
                 .telemetry
                 .as_ref()
-                .map(|t| t.stage_timer(msvs_telemetry::stage::TRANSCODE));
+                .map(|t| t.stage_scope(msvs_telemetry::stages::TRANSCODE));
             let cycles = self.model.cost(higher, level, duration);
-            drop(timer);
+            drop(scope);
             self.total_cycles += cycles;
             self.cache.insert(video, level);
             self.note_serve(ServeKind::Transcoded);
@@ -203,12 +203,12 @@ impl EdgeServer {
         self.total_backhaul_mb += backhaul_mb;
         self.cache.insert(video, top);
         let cycles = if top > level {
-            let timer = self
+            let scope = self
                 .telemetry
                 .as_ref()
-                .map(|t| t.stage_timer(msvs_telemetry::stage::TRANSCODE));
+                .map(|t| t.stage_scope(msvs_telemetry::stages::TRANSCODE));
             let c = self.model.cost(top, level, duration);
-            drop(timer);
+            drop(scope);
             self.cache.insert(video, level);
             c
         } else {

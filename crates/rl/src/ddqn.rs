@@ -299,12 +299,12 @@ impl DdqnAgent {
         if self.replay.len() < self.config.min_replay {
             return None;
         }
-        let timer = self
+        let scope = self
             .telemetry
             .as_ref()
-            .map(|t| t.stage_timer(msvs_telemetry::stage::DDQN_TRAIN));
+            .map(|t| t.stage_scope(msvs_telemetry::stages::DDQN_TRAIN));
         let loss = self.train_minibatch();
-        drop(timer);
+        drop(scope);
         self.last_loss = Some(loss);
         if let Some(t) = &self.telemetry {
             t.emit(msvs_telemetry::Event::TrainingStepped {

@@ -22,11 +22,13 @@
 //! println!("radio accuracy: {:.2}%", 100.0 * report.mean_radio_accuracy());
 //! ```
 
+pub mod bench;
 pub mod config;
 pub mod metrics;
 pub mod report;
 pub mod runner;
 
+pub use bench::{peak_rss_kb, run_bench, validate_bench_json, BenchOptions, BENCH_SCHEMA};
 pub use config::{
     DemandPredictorKind, MobilityMix, SimulationConfig, SimulationConfigBuilder, THREADS_ENV,
 };

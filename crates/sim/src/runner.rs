@@ -321,6 +321,9 @@ impl Simulation {
     /// Propagates pipeline errors.
     pub fn warm_up(&mut self) -> Result<()> {
         for _ in 0..self.config.warmup_intervals {
+            // Root span for the warm-up interval; no interval attribute
+            // marks it as unscored.
+            let _interval_scope = self.telemetry.stage_scope(stage::INTERVAL);
             self.collect_phase();
             // Full pipeline runs during warm-up too (twins fill with watch
             // records, the CNN trains); the record is discarded.
@@ -342,6 +345,13 @@ impl Simulation {
         self.telemetry.emit(Event::IntervalStarted {
             interval: index as u64,
         });
+        // Root span covering everything the interval does — churn, fault
+        // scheduling, collection, prediction, playback — so child stage
+        // spans nest under it in trace exports.
+        let _interval_scope = self
+            .telemetry
+            .stage_scope(stage::INTERVAL)
+            .with_interval(index as u64);
         self.apply_churn();
         self.apply_scheduled_faults(index as u64);
         self.collect_phase();
@@ -446,7 +456,7 @@ impl Simulation {
         let pool = self.pool;
         let faults = self.faults.as_ref();
         // Parallel per-user simulation of the whole interval's collection.
-        let ingest_timer = self.telemetry.stage_timer(stage::UDT_INGEST);
+        let ingest_scope = self.telemetry.stage_scope(stage::UDT_INGEST);
         let stats = pool.for_each_mut(&mut self.users, |_, user| {
             let mut t = start;
             for _ in 0..steps {
@@ -482,7 +492,7 @@ impl Simulation {
                 }
             }
         });
-        drop(ingest_timer);
+        drop(ingest_scope);
         self.telemetry
             .gauge("par_threads", stage::UDT_INGEST)
             .set(stats.threads as f64);
@@ -508,6 +518,9 @@ impl Simulation {
     /// with original fault timestamps — emitting from worker threads would
     /// make the journal order depend on scheduling.
     fn journal_faults(&mut self) {
+        // Only entered on fault-plan runs, so the span structure stays
+        // invariant between clean and faulted configurations of a test.
+        let _fault_scope = self.telemetry.stage_scope(stage::FAULT_INJECT);
         let mut counts = FaultCounts::default();
         for user in &mut self.users {
             counts.add(user.faults.counts);
@@ -558,8 +571,10 @@ impl Simulation {
     /// status collected. `index == usize::MAX` marks a warm-up pass.
     fn scored_interval(&mut self, index: usize) -> Result<IntervalRecord> {
         let scored = index != usize::MAX;
-        let interval_timer = self.telemetry.stage_timer(stage::INTERVAL);
-        let predict_timer = self.telemetry.stage_timer(stage::SCHEME_PREDICT);
+        let mut predict_scope = self.telemetry.stage_scope(stage::SCHEME_PREDICT);
+        if scored {
+            predict_scope.set_interval(index as u64);
+        }
         let ctx = PredictionContext {
             store: &self.store,
             catalog: &self.catalog,
@@ -569,7 +584,7 @@ impl Simulation {
             now: self.now,
         };
         let prediction = self.predictor.predict(&ctx)?;
-        let predict_wall_ms = predict_timer.stop();
+        let predict_wall_ms = predict_scope.stop();
         // Playback needs the grouping regardless of whose totals are
         // scored; predictors without a pipeline must be PipelineBacked.
         let outcome = prediction.outcome.ok_or_else(|| {
@@ -638,9 +653,12 @@ impl Simulation {
             None => None,
         };
 
-        let playback_timer = self.telemetry.stage_timer(stage::PLAYBACK);
+        let mut playback_scope = self.telemetry.stage_scope(stage::PLAYBACK);
+        if scored {
+            playback_scope.set_interval(index as u64);
+        }
         let actual = self.playback_phase(&outcome);
-        let playback_wall_ms = playback_timer.stop();
+        let playback_wall_ms = playback_scope.stop();
         self.predictor
             .observe_actual(ResourceBlocks(actual.radio), CpuCycles(actual.computing));
         let reservation = reservation_plan.map(|plan| {
@@ -760,7 +778,6 @@ impl Simulation {
                 hit_ratio: self.edge.cache().hit_ratio(),
             });
         }
-        drop(interval_timer);
         self.last_outcome = Some(outcome);
         self.intervals_run += 1;
         Ok(record)
@@ -787,6 +804,12 @@ impl Simulation {
             if member_ids.is_empty() {
                 continue;
             }
+            // Per-group child of the playback span; edge transcode spans
+            // opened during `serve_for` nest underneath it.
+            let _group_scope = self
+                .telemetry
+                .stage_scope(stage::PLAYBACK_GROUP)
+                .with_group(gid as u64);
             // Ground-truth member efficiencies for this interval.
             let effs: Vec<f64> = member_ids
                 .iter()

@@ -425,6 +425,50 @@ impl EventJournal {
         }
         Ok(journal)
     }
+
+    /// Parses a JSONL document, skipping malformed lines instead of
+    /// failing, and accounts for every skip in the returned
+    /// [`ParseReport`]. A malformed **final** line additionally sets
+    /// [`ParseReport::truncated`] — the signature of an export cut off
+    /// mid-write — so callers can escalate it to a hard error.
+    pub fn parse_jsonl_lossy(text: &str) -> (EventJournal, ParseReport) {
+        let journal = EventJournal::new();
+        let mut report = ParseReport::default();
+        let mut last_line = None;
+        let mut last_bad = None;
+        for (i, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            last_line = Some(i);
+            match Entry::parse(line) {
+                Ok(entry) => journal.record(entry.t_ms, entry.event),
+                Err(e) => {
+                    report.skipped.push((i + 1, e));
+                    last_bad = Some(i);
+                }
+            }
+        }
+        report.truncated = last_bad.is_some() && last_bad == last_line;
+        (journal, report)
+    }
+}
+
+/// Accounting from [`EventJournal::parse_jsonl_lossy`].
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ParseReport {
+    /// `(1-based line number, error)` for every skipped line.
+    pub skipped: Vec<(usize, String)>,
+    /// Whether the final non-blank line failed to parse (truncated or
+    /// corrupt export).
+    pub truncated: bool,
+}
+
+impl ParseReport {
+    /// Whether every line parsed.
+    pub fn clean(&self) -> bool {
+        self.skipped.is_empty()
+    }
 }
 
 #[cfg(test)]
@@ -455,7 +499,7 @@ mod tests {
             Entry {
                 t_ms: 300_500,
                 event: Event::StageCompleted {
-                    stage: "kmeans_fit".into(),
+                    stage: crate::stages::KMEANS_FIT.into(),
                     wall_ms: 1.25,
                 },
             },
@@ -501,7 +545,7 @@ mod tests {
                 users: 40,
             },
             Event::StageCompleted {
-                stage: "cnn_forward".into(),
+                stage: crate::stages::CNN_FORWARD.into(),
                 wall_ms: 0.5,
             },
             Event::GroupsFormed {
@@ -572,6 +616,46 @@ mod tests {
         let err = EventJournal::parse_jsonl("{\"t_ms\":1,\"event\":\"Nope\"}\n").unwrap_err();
         assert!(err.contains("line 1"), "{err}");
         assert!(err.contains("Nope"), "{err}");
+    }
+
+    #[test]
+    fn lossy_parse_counts_skips_and_flags_a_corrupt_final_line() {
+        let journal = EventJournal::new();
+        for e in sample_entries() {
+            journal.record(e.t_ms, e.event);
+        }
+        // Hand-damage the middle: drop a field from line 3, garble line 5.
+        let mut lines: Vec<String> = journal.to_jsonl().lines().map(str::to_string).collect();
+        lines[2] = lines[2].replace("\"silhouette\":0.42,", "");
+        lines[4] = "{not json at all".into();
+        let damaged = lines.join("\n");
+        let (parsed, report) = EventJournal::parse_jsonl_lossy(&damaged);
+        assert_eq!(parsed.len(), journal.len() - 2);
+        assert_eq!(report.skipped.len(), 2);
+        assert_eq!(report.skipped[0].0, 3);
+        assert_eq!(report.skipped[1].0, 5);
+        assert!(!report.truncated, "damage was not on the final line");
+        assert!(!report.clean());
+
+        // Truncate the final line mid-record: lossy parse flags it.
+        let mut truncated = journal.to_jsonl();
+        truncated.truncate(truncated.len() - 20);
+        let (parsed, report) = EventJournal::parse_jsonl_lossy(&truncated);
+        assert_eq!(parsed.len(), journal.len() - 1);
+        assert!(report.truncated);
+        assert_eq!(report.skipped.len(), 1);
+    }
+
+    #[test]
+    fn lossy_parse_of_a_clean_journal_is_clean() {
+        let journal = EventJournal::new();
+        for e in sample_entries() {
+            journal.record(e.t_ms, e.event);
+        }
+        let (parsed, report) = EventJournal::parse_jsonl_lossy(&journal.to_jsonl());
+        assert_eq!(parsed.entries(), journal.entries());
+        assert!(report.clean());
+        assert!(!report.truncated);
     }
 
     #[test]

@@ -6,26 +6,41 @@
 //!   backed by atomics; hot paths hold pre-resolved handles and pay one
 //!   relaxed atomic op per update.
 //! - [`ScopedTimer`] — RAII wall-clock timers recording stage latencies
-//!   (milliseconds) into histograms; canonical stage names in [`stage`].
+//!   (milliseconds) into histograms; canonical stage names in [`stages`].
+//! - [`SpanCollector`] — hierarchical tracing spans with deterministic
+//!   structure at any thread count; exportable as Chrome-trace JSON via
+//!   [`chrome_trace`] for Perfetto / `chrome://tracing`.
 //! - [`EventJournal`] — typed [`Event`]s stamped with simulation time,
 //!   exportable as JSONL/CSV and parseable back for offline reporting.
 //! - [`RunManifest`] — config, seed, and git version of a run.
 //!
-//! The [`Telemetry`] handle bundles a registry and a journal and is cheap
-//! to clone into every subsystem; [`TelemetrySummary`] condenses the
-//! registry into the percentile table embedded in simulation reports.
+//! The [`Telemetry`] handle bundles a registry, a journal, and a span
+//! collector and is cheap to clone into every subsystem;
+//! [`TelemetrySummary`] condenses the registry into the percentile table
+//! embedded in simulation reports. [`Telemetry::stage_scope`] is the
+//! one-call instrumentation point: one RAII guard feeds both the stage
+//! histogram and the span tree.
 
 mod journal;
 mod json;
 mod manifest;
 mod registry;
+mod span;
+pub mod stages;
 mod timer;
+pub mod trace;
 
-pub use journal::{Entry, Event, EventJournal};
+pub use journal::{Entry, Event, EventJournal, ParseReport};
 pub use json::Json;
 pub use manifest::RunManifest;
 pub use registry::{Counter, Gauge, Histogram, HistogramStats, Registry};
-pub use timer::{stage, ScopedTimer};
+pub use span::{SpanAttrs, SpanCollector, SpanGuard, SpanRecord, SpanScratch, DRIVER_LANE};
+pub use timer::ScopedTimer;
+pub use trace::{chrome_trace, validate_chrome_trace};
+
+/// Back-compat alias for [`stages`] (the constants used to live under
+/// `timer::stage`).
+pub use stages as stage;
 
 /// Metric family name for stage-latency histograms; the label is the
 /// stage name from [`stage`].
@@ -43,6 +58,7 @@ pub const STAGE_MS: &str = "stage_ms";
 pub struct Telemetry {
     registry: Registry,
     journal: EventJournal,
+    spans: SpanCollector,
     now_ms: std::sync::Arc<std::sync::atomic::AtomicU64>,
 }
 
@@ -86,6 +102,31 @@ impl Telemetry {
         ScopedTimer::new(self.registry.histogram(STAGE_MS, stage))
     }
 
+    /// Opens a tracing span without touching the stage histograms.
+    pub fn span(&self, name: &'static str) -> SpanGuard {
+        self.spans.enter(name)
+    }
+
+    /// Opens a [`StageScope`]: one guard that both times the stage into
+    /// its `stage_ms{stage}` histogram and records a tracing span of the
+    /// same name, parented to the innermost open span.
+    pub fn stage_scope(&self, stage: &'static str) -> StageScope {
+        StageScope {
+            timer: self.stage_timer(stage),
+            span: self.spans.enter(stage),
+        }
+    }
+
+    /// The span collector (for scratch buffers, manual spans, exports).
+    pub fn span_collector(&self) -> &SpanCollector {
+        &self.spans
+    }
+
+    /// Snapshot of every recorded span in id order.
+    pub fn spans(&self) -> Vec<SpanRecord> {
+        self.spans.snapshot()
+    }
+
     /// Resolves the counter `name{label}`.
     pub fn counter(&self, name: &'static str, label: impl Into<String>) -> Counter {
         self.registry.counter(name, label)
@@ -107,6 +148,56 @@ impl Telemetry {
     }
 }
 
+/// RAII guard pairing a stage-latency timer with a tracing span: drop it
+/// (or call [`stop`](Self::stop)) to record into both surfaces at once.
+#[derive(Debug)]
+pub struct StageScope {
+    timer: ScopedTimer,
+    span: SpanGuard,
+}
+
+impl StageScope {
+    /// The underlying span's id, usable as an adoption/manual parent.
+    pub fn span_id(&self) -> u64 {
+        self.span.id()
+    }
+
+    /// Sets the span's scored-interval attribute.
+    pub fn set_interval(&mut self, interval: u64) {
+        self.span.set_interval(interval);
+    }
+
+    /// Sets the span's multicast-group attribute.
+    pub fn set_group(&mut self, group: u64) {
+        self.span.set_group(group);
+    }
+
+    /// Sets the span's fan-out batch attribute.
+    pub fn set_batch(&mut self, batch: u64) {
+        self.span.set_batch(batch);
+    }
+
+    /// Builder-style [`set_interval`](Self::set_interval).
+    pub fn with_interval(mut self, interval: u64) -> Self {
+        self.set_interval(interval);
+        self
+    }
+
+    /// Builder-style [`set_group`](Self::set_group).
+    pub fn with_group(mut self, group: u64) -> Self {
+        self.set_group(group);
+        self
+    }
+
+    /// Closes both surfaces and returns the elapsed milliseconds the
+    /// histogram recorded.
+    pub fn stop(self) -> f64 {
+        let StageScope { timer, span } = self;
+        span.end();
+        timer.stop()
+    }
+}
+
 /// Latency summary of one pipeline stage, milliseconds.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct StageStats {
@@ -114,6 +205,7 @@ pub struct StageStats {
     pub count: u64,
     pub mean_ms: f64,
     pub p50_ms: f64,
+    pub p90_ms: f64,
     pub p95_ms: f64,
     pub p99_ms: f64,
     pub max_ms: f64,
@@ -141,6 +233,7 @@ impl TelemetrySummary {
                 count: s.count,
                 mean_ms: s.mean,
                 p50_ms: s.p50,
+                p90_ms: s.p90,
                 p95_ms: s.p95,
                 p99_ms: s.p99,
                 max_ms: s.max,
@@ -216,6 +309,27 @@ mod tests {
         clone.event(10, Event::IntervalStarted { interval: 0 });
         assert_eq!(t.counter("n", "").get(), 1);
         assert_eq!(t.journal().len(), 1);
+    }
+
+    #[test]
+    fn stage_scope_feeds_histogram_and_span_tree() {
+        let t = Telemetry::new();
+        {
+            let mut outer = t.stage_scope(stage::INTERVAL);
+            outer.set_interval(2);
+            let inner = t.stage_scope(stage::SCHEME_PREDICT);
+            let ms = inner.stop();
+            assert!(ms >= 0.0);
+        }
+        let spans = t.spans();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].name, stage::INTERVAL);
+        assert_eq!(spans[0].attrs.interval, Some(2));
+        assert_eq!(spans[1].parent, Some(0));
+        let s = t.summary();
+        assert_eq!(s.stages.len(), 2);
+        assert!(s.stages.iter().all(|st| st.count == 1));
+        assert!(s.stages.iter().all(|st| st.p90_ms <= st.p99_ms));
     }
 
     #[test]

@@ -113,8 +113,8 @@ mod tests {
         let mut m = RunManifest::new("dt-assisted", 7)
             .with_config("n_users", 40)
             .with_config("intervals", 12);
-        m.add_stage_wall_ms("kmeans_fit", 1.5);
-        m.add_stage_wall_ms("kmeans_fit", 2.5);
+        m.add_stage_wall_ms(crate::stages::KMEANS_FIT, 1.5);
+        m.add_stage_wall_ms(crate::stages::KMEANS_FIT, 2.5);
         let j = m.to_json();
         assert_eq!(j.get("scheme").unwrap().as_str(), Some("dt-assisted"));
         assert_eq!(j.get("seed").unwrap().as_u64(), Some(7));
@@ -125,7 +125,7 @@ mod tests {
         assert_eq!(
             j.get("stage_wall_ms")
                 .unwrap()
-                .get("kmeans_fit")
+                .get(crate::stages::KMEANS_FIT)
                 .unwrap()
                 .as_f64(),
             Some(4.0)

@@ -180,6 +180,7 @@ impl Histogram {
             count: self.count(),
             mean: self.mean(),
             p50: self.quantile(0.50),
+            p90: self.quantile(0.90),
             p95: self.quantile(0.95),
             p99: self.quantile(0.99),
             max: self.max(),
@@ -193,6 +194,7 @@ pub struct HistogramStats {
     pub count: u64,
     pub mean: f64,
     pub p50: f64,
+    pub p90: f64,
     pub p95: f64,
     pub p99: f64,
     pub max: f64,
@@ -310,6 +312,8 @@ mod tests {
         // Log-bucketed quantiles carry ~9% relative error per bound.
         let p50 = h.quantile(0.50);
         assert!((45.0..=56.0).contains(&p50), "p50 {p50}");
+        let p90 = h.quantile(0.90);
+        assert!((81.0..=100.0).contains(&p90), "p90 {p90}");
         let p95 = h.quantile(0.95);
         assert!((86.0..=105.0).contains(&p95), "p95 {p95}");
         let p99 = h.quantile(0.99);

@@ -4,35 +4,6 @@ use std::time::Instant;
 
 use crate::registry::Histogram;
 
-/// Canonical stage names used across the workspace, so dashboards and the
-/// `msvs report` table agree on spelling.
-pub mod stage {
-    /// UDT data ingestion (base-station collection sweep).
-    pub const UDT_INGEST: &str = "udt_ingest";
-    /// 1D-CNN feature compression forward pass.
-    pub const CNN_FORWARD: &str = "cnn_forward";
-    /// 1D-CNN autoencoder training.
-    pub const CNN_TRAIN: &str = "cnn_train";
-    /// DDQN action selection for the cluster count K.
-    pub const DDQN_SELECT_K: &str = "ddqn_select_k";
-    /// DDQN minibatch training step.
-    pub const DDQN_TRAIN: &str = "ddqn_train";
-    /// K-means++ clustering fit.
-    pub const KMEANS_FIT: &str = "kmeans_fit";
-    /// Swiping-abstraction construction + engagement prediction.
-    pub const SWIPING_ABSTRACTION: &str = "swiping_abstraction";
-    /// Per-group resource demand prediction.
-    pub const DEMAND_PREDICT: &str = "demand_predict";
-    /// End-to-end scheme prediction (all of the above).
-    pub const SCHEME_PREDICT: &str = "scheme_predict";
-    /// Edge transcoding work.
-    pub const TRANSCODE: &str = "transcode";
-    /// Playback phase of a simulated interval.
-    pub const PLAYBACK: &str = "playback";
-    /// One whole simulated interval.
-    pub const INTERVAL: &str = "interval";
-}
-
 /// Measures wall-clock time from construction until [`stop`](Self::stop)
 /// or drop, recording the elapsed **milliseconds** into a [`Histogram`].
 ///
@@ -96,6 +67,7 @@ impl Drop for ScopedTimer {
 mod tests {
     use super::*;
     use crate::registry::Registry;
+    use crate::stages as stage;
 
     #[test]
     fn drop_records_once() {

@@ -1,0 +1,226 @@
+//! Chrome-trace (Perfetto / `chrome://tracing`) JSON export.
+//!
+//! Emits the *JSON array format*: one `"M"` (metadata) event naming the
+//! process and each lane, then one `"X"` (complete) event per span with
+//! microsecond `ts`/`dur` and the span id/parent/attributes under
+//! `args`. Load the file in <https://ui.perfetto.dev> or
+//! `chrome://tracing` directly — no conversion step needed.
+
+use std::collections::BTreeSet;
+
+use crate::json::Json;
+use crate::span::{SpanRecord, DRIVER_LANE};
+
+/// Trace-event category stamped on every span event.
+const CATEGORY: &str = "msvs";
+
+/// Renders `spans` as a Chrome-trace JSON array.
+pub fn chrome_trace(spans: &[SpanRecord], process_name: &str) -> Json {
+    let mut events = Vec::with_capacity(spans.len() + 8);
+    events.push(metadata_event(
+        "process_name",
+        0,
+        Json::obj([("name", Json::Str(process_name.into()))]),
+    ));
+    let lanes: BTreeSet<u32> = spans.iter().map(|s| s.lane).collect();
+    for lane in lanes {
+        let name = if lane == DRIVER_LANE {
+            "driver".to_string()
+        } else {
+            format!("worker-{lane}")
+        };
+        let mut meta = metadata_event("thread_name", lane, Json::obj([("name", Json::Str(name))]));
+        if let Json::Obj(map) = &mut meta {
+            // Perfetto sorts lanes by this index; keep the driver on top.
+            map.insert("ts".into(), Json::Num(0.0));
+        }
+        events.push(meta);
+    }
+    for span in spans {
+        events.push(span_event(span));
+    }
+    Json::Arr(events)
+}
+
+fn metadata_event(name: &str, tid: u32, args: Json) -> Json {
+    Json::obj([
+        ("ph", Json::Str("M".into())),
+        ("pid", Json::Num(0.0)),
+        ("tid", Json::Num(tid as f64)),
+        ("name", Json::Str(name.into())),
+        ("args", args),
+    ])
+}
+
+fn span_event(span: &SpanRecord) -> Json {
+    let mut args = vec![("id", Json::Num(span.id as f64))];
+    if let Some(parent) = span.parent {
+        args.push(("parent", Json::Num(parent as f64)));
+    }
+    if let Some(interval) = span.attrs.interval {
+        args.push(("interval", Json::Num(interval as f64)));
+    }
+    if let Some(group) = span.attrs.group {
+        args.push(("group", Json::Num(group as f64)));
+    }
+    if let Some(batch) = span.attrs.batch {
+        args.push(("batch", Json::Num(batch as f64)));
+    }
+    Json::obj([
+        ("ph", Json::Str("X".into())),
+        ("cat", Json::Str(CATEGORY.into())),
+        ("name", Json::Str(span.name.into())),
+        ("ts", Json::Num(span.t0_us as f64)),
+        // Zero-duration slices are invisible in viewers; floor at 1 µs.
+        ("dur", Json::Num(span.dur_us.max(1) as f64)),
+        ("pid", Json::Num(0.0)),
+        ("tid", Json::Num(span.lane as f64)),
+        ("args", Json::obj(args)),
+    ])
+}
+
+/// Validates `trace` against the Chrome-trace array schema this crate
+/// emits: a JSON array whose elements all carry `ph`/`pid`/`tid`/`name`,
+/// where `"X"` events add finite `ts`/`dur` and an `args.id`, and every
+/// `args.parent` refers to an `args.id` present in the trace.
+///
+/// # Errors
+/// Returns a message naming the first offending event.
+pub fn validate_chrome_trace(trace: &Json) -> Result<(), String> {
+    let events = match trace {
+        Json::Arr(events) => events,
+        _ => return Err("trace root must be a JSON array of events".into()),
+    };
+    let mut ids = BTreeSet::new();
+    let mut parents = Vec::new();
+    let mut saw_complete = false;
+    for (i, event) in events.iter().enumerate() {
+        let ph = event
+            .get("ph")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("event {i}: missing 'ph'"))?;
+        for key in ["pid", "tid"] {
+            event
+                .get(key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("event {i}: missing numeric '{key}'"))?;
+        }
+        event
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("event {i}: missing 'name'"))?;
+        match ph {
+            "M" => {}
+            "X" => {
+                saw_complete = true;
+                for key in ["ts", "dur"] {
+                    let v = event
+                        .get(key)
+                        .and_then(Json::as_f64)
+                        .ok_or_else(|| format!("event {i}: missing numeric '{key}'"))?;
+                    if !v.is_finite() || v < 0.0 {
+                        return Err(format!("event {i}: '{key}' must be finite and >= 0"));
+                    }
+                }
+                let args = event
+                    .get("args")
+                    .ok_or_else(|| format!("event {i}: missing 'args'"))?;
+                let id = args
+                    .get("id")
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| format!("event {i}: missing 'args.id'"))?;
+                ids.insert(id);
+                if let Some(parent) = args.get("parent") {
+                    let parent = parent
+                        .as_u64()
+                        .ok_or_else(|| format!("event {i}: non-integer 'args.parent'"))?;
+                    parents.push((i, parent));
+                }
+            }
+            other => return Err(format!("event {i}: unknown phase '{other}'")),
+        }
+    }
+    if !saw_complete {
+        return Err("trace holds no 'X' (complete) events".into());
+    }
+    for (i, parent) in parents {
+        if !ids.contains(&parent) {
+            return Err(format!("event {i}: parent {parent} not present in trace"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::SpanCollector;
+    use crate::stages;
+
+    fn sample_trace() -> Json {
+        let c = SpanCollector::new();
+        {
+            let _root = c.enter(stages::INTERVAL).with_interval(0);
+            let _child = c.enter(stages::SCHEME_PREDICT);
+        }
+        chrome_trace(&c.snapshot(), "msvs test")
+    }
+
+    #[test]
+    fn export_is_an_array_that_validates_and_round_trips() {
+        let trace = sample_trace();
+        validate_chrome_trace(&trace).unwrap();
+        let reparsed = Json::parse(&trace.to_string()).unwrap();
+        validate_chrome_trace(&reparsed).unwrap();
+        assert!(matches!(reparsed, Json::Arr(_)));
+    }
+
+    #[test]
+    fn spans_keep_parent_links_in_args() {
+        let trace = sample_trace();
+        let Json::Arr(events) = &trace else {
+            panic!("not an array")
+        };
+        let child = events
+            .iter()
+            .find(|e| e.get("name").and_then(Json::as_str) == Some(stages::SCHEME_PREDICT))
+            .unwrap();
+        assert_eq!(
+            child
+                .get("args")
+                .and_then(|a| a.get("parent"))
+                .and_then(Json::as_u64),
+            Some(0)
+        );
+        let root = events
+            .iter()
+            .find(|e| e.get("name").and_then(Json::as_str) == Some(stages::INTERVAL))
+            .unwrap();
+        assert_eq!(
+            root.get("args")
+                .and_then(|a| a.get("interval"))
+                .and_then(Json::as_u64),
+            Some(0)
+        );
+    }
+
+    #[test]
+    fn validation_rejects_broken_traces() {
+        assert!(validate_chrome_trace(&Json::Num(3.0)).is_err());
+        // Dangling parent.
+        let bad = Json::Arr(vec![Json::obj([
+            ("ph", Json::Str("X".into())),
+            ("pid", Json::Num(0.0)),
+            ("tid", Json::Num(0.0)),
+            ("name", Json::Str("x".into())),
+            ("ts", Json::Num(0.0)),
+            ("dur", Json::Num(1.0)),
+            (
+                "args",
+                Json::obj([("id", Json::Num(5.0)), ("parent", Json::Num(99.0))]),
+            ),
+        ])]);
+        let err = validate_chrome_trace(&bad).unwrap_err();
+        assert!(err.contains("parent 99"), "{err}");
+    }
+}

@@ -3,8 +3,9 @@
 //! ```text
 //! msvs run [--users N] [--intervals N] [--seed S] [--churn F]
 //!          [--per-bs] [--predictor scheme|naive|ewma] [--threads N]
-//!          [--faults PROFILE] [--csv PATH] [--journal PATH]
+//!          [--faults PROFILE] [--csv PATH] [--journal PATH] [--trace PATH]
 //! msvs report <journal.jsonl>
+//! msvs bench-report [--seed S] [--users N] [--intervals N] [--threads N] [--out PATH]
 //! msvs swiping [--users N] [--seed S]
 //! msvs reserve [--headroom F] [--users N] [--seed S]
 //! msvs help
@@ -15,8 +16,11 @@ use std::process::ExitCode;
 
 use msvs::core::ReservationPolicy;
 use msvs::faults::FaultPlan;
-use msvs::sim::{report, DemandPredictorKind, Simulation, SimulationConfig, SimulationReport};
-use msvs::telemetry::{Event, EventJournal, RunManifest};
+use msvs::sim::{
+    report, run_bench, validate_bench_json, BenchOptions, DemandPredictorKind, Simulation,
+    SimulationConfig, SimulationReport,
+};
+use msvs::telemetry::{chrome_trace, Event, EventJournal, RunManifest};
 use msvs::types::VideoCategory;
 
 fn main() -> ExitCode {
@@ -25,6 +29,7 @@ fn main() -> ExitCode {
     let result = match command {
         "run" => cmd_run(&args[1..]),
         "report" => cmd_report(&args[1..]),
+        "bench-report" => cmd_bench_report(&args[1..]),
         "swiping" => cmd_swiping(&args[1..]),
         "reserve" => cmd_reserve(&args[1..]),
         "help" | "--help" | "-h" => {
@@ -49,8 +54,10 @@ fn print_help() {
          USAGE:\n\
          \x20 msvs run     [--users N] [--intervals N] [--seed S] [--churn F]\n\
          \x20              [--per-bs] [--predictor scheme|naive|ewma] [--threads N]\n\
-         \x20              [--faults PROFILE] [--csv PATH] [--journal PATH]\n\
+         \x20              [--faults PROFILE] [--csv PATH] [--journal PATH] [--trace PATH]\n\
          \x20 msvs report  <journal.jsonl>             summarise a run's journal\n\
+         \x20 msvs bench-report [--seed S] [--users N] [--intervals N] [--threads N]\n\
+         \x20              [--out PATH]                perf baseline as JSON\n\
          \x20 msvs swiping [--users N] [--seed S]      print a group's swipe curves\n\
          \x20 msvs reserve [--headroom F] [--users N] [--seed S]\n\
          \x20 msvs help\n\
@@ -63,7 +70,11 @@ fn print_help() {
          `--faults PROFILE` injects uplink faults from a built-in profile\n\
          ({}) or a JSON file (see results/fault_profiles/).\n\
          `--journal` writes the telemetry event journal as JSONL (plus a\n\
-         run manifest next to it); `report` pretty-prints such a journal.",
+         run manifest next to it); `report` pretty-prints such a journal.\n\
+         `--trace` writes the run's hierarchical spans as a Chrome-trace\n\
+         JSON file (open in Perfetto or chrome://tracing).\n\
+         `bench-report` runs a pinned-seed baseline and writes stage\n\
+         percentiles, throughput, and peak RSS as machine-readable JSON.",
         FaultPlan::BUILTINS.join(", ")
     );
 }
@@ -139,8 +150,10 @@ fn resolve_faults(raw: &str) -> Result<FaultPlan, String> {
 fn cmd_run(args: &[String]) -> Result<(), String> {
     let flags = Flags::new(args)?;
     // Fail before the (long) run rather than silently dropping the export.
-    if flags.has("--journal") && flags.value("--journal").is_none() {
-        return Err("--journal requires a path".into());
+    for export in ["--journal", "--trace"] {
+        if flags.has(export) && flags.value(export).is_none() {
+            return Err(format!("{export} requires a path"));
+        }
     }
     let mut cfg = base_config(&flags)?;
     if flags.has("--faults") {
@@ -219,6 +232,49 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
             .map_err(|e| e.to_string())?;
         println!("wrote {path} and {manifest_path}");
     }
+    if let Some(path) = flags.value("--trace") {
+        let trace = chrome_trace(&sim.telemetry().spans(), "msvs run");
+        std::fs::write(path, format!("{trace}\n")).map_err(|e| e.to_string())?;
+        println!("wrote {path} (open in https://ui.perfetto.dev or chrome://tracing)");
+    }
+    Ok(())
+}
+
+/// `msvs bench-report`: run the pinned-seed perf baseline and write the
+/// `msvs-bench/v1` JSON document (see `crates/sim/src/bench.rs`).
+fn cmd_bench_report(args: &[String]) -> Result<(), String> {
+    let flags = Flags::new(args)?;
+    let defaults = BenchOptions::default();
+    let opts = BenchOptions {
+        seed: flags.parse("--seed", defaults.seed)?,
+        users: flags.parse("--users", defaults.users)?,
+        intervals: flags.parse("--intervals", defaults.intervals)?,
+        threads: flags.parse("--threads", defaults.threads)?,
+    };
+    let out = flags.value("--out").unwrap_or("BENCH_4.json");
+    let doc = run_bench(&opts).map_err(|e| e.to_string())?;
+    validate_bench_json(&doc)?;
+    std::fs::write(out, format!("{doc}\n")).map_err(|e| e.to_string())?;
+    let stages = match doc.get("stages") {
+        Some(msvs::telemetry::Json::Obj(map)) => map.len(),
+        _ => 0,
+    };
+    println!(
+        "wrote {out}: {} users x {} intervals on {} threads, {} stages, {:.1} user-intervals/s",
+        doc.get("users")
+            .and_then(msvs::telemetry::Json::as_u64)
+            .unwrap_or(0),
+        doc.get("intervals")
+            .and_then(msvs::telemetry::Json::as_u64)
+            .unwrap_or(0),
+        doc.get("threads")
+            .and_then(msvs::telemetry::Json::as_u64)
+            .unwrap_or(0),
+        stages,
+        doc.get("throughput_user_intervals_per_s")
+            .and_then(msvs::telemetry::Json::as_f64)
+            .unwrap_or(0.0),
+    );
     Ok(())
 }
 
@@ -230,7 +286,10 @@ fn cmd_report(args: &[String]) -> Result<(), String> {
         .filter(|a| !a.starts_with("--"))
         .ok_or("usage: msvs report <journal.jsonl>")?;
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-    let journal = EventJournal::parse_jsonl(&text)?;
+    let (journal, parse) = EventJournal::parse_jsonl_lossy(&text);
+    for (line, err) in &parse.skipped {
+        eprintln!("warning: {path}:{line}: skipped malformed line: {err}");
+    }
     let entries = journal.entries();
     if let Some((scheme, seed)) = entries.iter().find_map(|e| match &e.event {
         Event::RunStarted { scheme, seed } => Some((scheme.clone(), *seed)),
@@ -254,13 +313,16 @@ fn cmd_report(args: &[String]) -> Result<(), String> {
             .iter()
             .map(|(stage, ms)| {
                 let total: f64 = ms.iter().sum();
-                let min = ms.iter().cloned().fold(f64::INFINITY, f64::min);
                 let max = ms.iter().cloned().fold(0.0f64, f64::max);
+                let mut sorted = ms.clone();
+                sorted.sort_by(f64::total_cmp);
                 vec![
                     stage.to_string(),
                     ms.len().to_string(),
                     format!("{:.3}", total / ms.len() as f64),
-                    format!("{min:.3}"),
+                    format!("{:.3}", sample_quantile(&sorted, 0.50)),
+                    format!("{:.3}", sample_quantile(&sorted, 0.90)),
+                    format!("{:.3}", sample_quantile(&sorted, 0.99)),
                     format!("{max:.3}"),
                     format!("{total:.3}"),
                 ]
@@ -269,7 +331,10 @@ fn cmd_report(args: &[String]) -> Result<(), String> {
         println!(
             "{}",
             report::format_table(
-                &["stage", "count", "mean ms", "min ms", "max ms", "total ms"],
+                &[
+                    "stage", "count", "mean ms", "p50 ms", "p90 ms", "p99 ms", "max ms",
+                    "total ms",
+                ],
                 &rows,
             )
         );
@@ -309,7 +374,24 @@ fn cmd_report(args: &[String]) -> Result<(), String> {
             report::format_table(&["interval", "t(s)", "QoE", "hit ratio"], &rows)
         );
     }
+    if !parse.skipped.is_empty() {
+        println!(
+            "skipped {} malformed line(s); see warnings above",
+            parse.skipped.len()
+        );
+    }
+    if parse.truncated {
+        return Err(format!(
+            "{path}: final line is malformed — the journal looks truncated or corrupt"
+        ));
+    }
     Ok(())
+}
+
+/// Nearest-rank quantile over an already sorted, non-empty sample.
+fn sample_quantile(sorted: &[f64], q: f64) -> f64 {
+    let idx = (q * (sorted.len() - 1) as f64).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
 }
 
 fn cmd_swiping(args: &[String]) -> Result<(), String> {

@@ -61,6 +61,60 @@ fn seeded_report_is_bit_identical_across_thread_counts() {
     );
 }
 
+/// Drives a seeded run by hand (keeping the telemetry handle reachable)
+/// and returns the span tree's thread-count-invariant shape.
+fn span_structure(
+    seed: u64,
+    threads: usize,
+) -> Vec<(u64, Option<u64>, &'static str, msvs::telemetry::SpanAttrs)> {
+    let mut sim = Simulation::new(seeded_config(seed, threads)).expect("scenario builds");
+    sim.warm_up().expect("warm-up runs");
+    for i in 0..2 {
+        sim.run_interval(i).expect("interval runs");
+    }
+    sim.telemetry()
+        .spans()
+        .iter()
+        .map(|s| s.structure())
+        .collect()
+}
+
+#[test]
+fn span_structure_is_identical_across_thread_counts() {
+    let serial = span_structure(33, 1);
+    let parallel = span_structure(33, 4);
+    assert!(!serial.is_empty(), "instrumented run must produce spans");
+    assert_eq!(
+        serial, parallel,
+        "span ids, parents, names and attributes must not depend on the pool size"
+    );
+}
+
+#[test]
+fn counter_totals_match_single_thread_exactly_under_faults() {
+    let run = |threads: usize| {
+        let mut cfg = seeded_config(91, threads);
+        cfg.faults = Some(msvs::faults::FaultPlan::builtin("brownout").expect("builtin"));
+        cfg.validate().expect("config with faults is valid");
+        Simulation::run(cfg).expect("fault run")
+    };
+    let serial = run(1);
+    let parallel = run(4);
+    assert_eq!(
+        serial.telemetry.counters, parallel.telemetry.counters,
+        "every counter total (fault_reports_total, fault_retries_total, \
+         events_total, ...) must match the single-thread run exactly"
+    );
+    assert!(
+        serial
+            .telemetry
+            .counters
+            .iter()
+            .any(|(name, _, v)| name == "fault_reports_total" && *v > 0),
+        "the brownout profile must actually inject faults"
+    );
+}
+
 #[test]
 fn thread_count_resolves_before_the_run() {
     let sim = Simulation::new(seeded_config(1, 4)).expect("scenario builds");
