@@ -10,6 +10,15 @@ use rand::{Rng, SeedableRng};
 /// dominates for small inputs.
 const PAR_MIN_POINTS: usize = 256;
 
+/// Relative slack applied when comparing Hamerly bounds: the upper bound
+/// is inflated and the lower bound deflated by this factor (plus a tiny
+/// absolute term for near-zero bounds) before the skip test, so that
+/// floating-point drift in the incrementally-maintained bounds can never
+/// legitimise a skip that an exact scan would have overturned. Distances
+/// carry at most a few dozen rounded operations of error (~1e-13
+/// relative), orders of magnitude inside this margin.
+const BOUND_SLACK: f64 = 1e-9;
+
 /// Configuration for a [`KMeans`] run.
 #[derive(Debug, Clone)]
 pub struct KMeansConfig {
@@ -26,6 +35,12 @@ pub struct KMeansConfig {
     /// point's nearest-centroid scan is independent and results merge in
     /// point order.
     pub threads: usize,
+    /// Maintain Hamerly-style distance bounds to skip provably-unchanged
+    /// nearest-centroid scans. Assignments, inertia, and round counts are
+    /// bit-identical with bounds on or off: a point is only skipped when
+    /// the (slack-guarded) bounds prove the full scan could not have
+    /// moved it.
+    pub bounded: bool,
 }
 
 impl Default for KMeansConfig {
@@ -36,6 +51,7 @@ impl Default for KMeansConfig {
             tolerance: 1e-8,
             seed: 0,
             threads: 1,
+            bounded: true,
         }
     }
 }
@@ -67,6 +83,10 @@ pub struct KMeansResult {
     /// round), so callers with a tracing layer can materialise child
     /// spans without this crate depending on telemetry.
     pub rounds: Vec<RoundTiming>,
+    /// Point-to-centroid distance evaluations the bound check proved
+    /// unnecessary, out of the `iterations * n * k` a plain Lloyd sweep
+    /// would perform. `0` when [`KMeansConfig::bounded`] is off.
+    pub distance_evals_skipped: u64,
 }
 
 impl KMeansResult {
@@ -112,6 +132,61 @@ fn nearest(p: &[f64], centroids: &[Vec<f64>]) -> (usize, f64) {
     (best, best_d)
 }
 
+/// Like [`nearest`] but also returns the squared distance to the
+/// second-closest centroid (`f64::MAX` when `k == 1`), feeding the
+/// Hamerly lower bound. The winning index and distance follow the exact
+/// comparison sequence of [`nearest`], so both scans always agree.
+fn nearest2(p: &[f64], centroids: &[Vec<f64>]) -> (usize, f64, f64) {
+    let mut best = 0;
+    let mut best_d = f64::MAX;
+    let mut second_d = f64::MAX;
+    for (c, centroid) in centroids.iter().enumerate() {
+        let d = sq_dist(p, centroid);
+        if d < best_d {
+            second_d = best_d;
+            best_d = d;
+            best = c;
+        } else if d < second_d {
+            second_d = d;
+        }
+    }
+    (best, best_d, second_d)
+}
+
+/// Absolute companion to [`BOUND_SLACK`] so near-zero bounds keep a
+/// non-vanishing safety margin.
+const BOUND_SLACK_ABS: f64 = 1e-12;
+
+/// Conservatively inflates an upper bound before the skip test.
+fn inflate(x: f64) -> f64 {
+    x + x.abs() * BOUND_SLACK + BOUND_SLACK_ABS
+}
+
+/// Conservatively deflates a lower bound before the skip test.
+fn deflate(x: f64) -> f64 {
+    x - x.abs() * BOUND_SLACK - BOUND_SLACK_ABS
+}
+
+/// Index of the point farthest from *its own* centroid — the standard
+/// empty-cluster repair seed. `None` only for an empty point set.
+fn farthest_from_own_centroid(
+    points: &[Vec<f64>],
+    centroids: &[Vec<f64>],
+    assignments: &[usize],
+) -> Option<usize> {
+    points
+        .iter()
+        .enumerate()
+        .max_by(|(ia, a), (ib, b)| {
+            // total_cmp tolerates non-finite distances (degenerate
+            // inputs) instead of panicking; identical ordering for
+            // finite values.
+            sq_dist(a, &centroids[assignments[*ia]])
+                .total_cmp(&sq_dist(b, &centroids[assignments[*ib]]))
+        })
+        .map(|(i, _)| i)
+}
+
 impl KMeans {
     /// Builds a clusterer with the given configuration.
     pub fn new(config: KMeansConfig) -> Self {
@@ -154,22 +229,65 @@ impl KMeans {
             ));
         }
 
+        let n = points.len();
         let mut rng = StdRng::seed_from_u64(self.config.seed);
         let mut centroids = self.seed_centroids(points, &mut rng);
-        let mut assignments = vec![0usize; points.len()];
+        let mut assignments = vec![0usize; n];
         let mut iterations = 0;
         let mut converged = false;
         let mut rounds = Vec::new();
-        let pool = self.assignment_pool(points.len());
+        let pool = self.assignment_pool(n);
+        // Hamerly bound state, in sqrt (plain-distance) space where the
+        // triangle inequality holds: `ub[i]` bounds the distance from
+        // point `i` to its assigned centroid from above, `lb[i]` bounds
+        // the distance to every *other* centroid from below.
+        let mut ub = vec![0.0f64; n];
+        let mut lb = vec![0.0f64; n];
+        let mut moves = vec![0.0f64; k];
+        let mut distance_evals: u64 = 0;
 
         for iter in 0..self.config.max_iters {
             iterations = iter + 1;
             // Assignment step: independent per point, merged in point order,
             // so the outcome is identical at any thread count.
             let assign_start = std::time::Instant::now();
-            let nearest_all = pool.map(points, |_, p| nearest(p, &centroids));
-            for (a, (best, _)) in assignments.iter_mut().zip(&nearest_all) {
-                *a = *best;
+            if !self.config.bounded || iter == 0 {
+                let nearest_all = pool.map(points, |_, p| nearest2(p, &centroids));
+                for (i, &(best, best_d, second_d)) in nearest_all.iter().enumerate() {
+                    assignments[i] = best;
+                    ub[i] = best_d.sqrt();
+                    lb[i] = second_d.sqrt();
+                }
+                distance_evals += (n * k) as u64;
+            } else {
+                // Bounded sweep: a point whose (slack-guarded) upper bound
+                // sits strictly below its lower bound provably cannot
+                // change assignment, so the scan is skipped outright; a
+                // point failing that test first tightens `ub` with one
+                // exact distance, and only falls back to the full scan
+                // when the tightened bound still cannot prove stability.
+                // The fallback is `nearest2`, whose comparison sequence
+                // matches the unbounded scan exactly, so surviving points
+                // land on identical assignments.
+                let state = pool.map(points, |i, p| {
+                    let a = assignments[i];
+                    let lower = deflate(lb[i]);
+                    if inflate(ub[i]) < lower {
+                        return (a, ub[i], lb[i], 0u64);
+                    }
+                    let tight = sq_dist(p, &centroids[a]).sqrt();
+                    if inflate(tight) < lower {
+                        return (a, tight, lb[i], 1);
+                    }
+                    let (best, best_d, second_d) = nearest2(p, &centroids);
+                    (best, best_d.sqrt(), second_d.sqrt(), k as u64)
+                });
+                for (i, &(a, u, l, evals)) in state.iter().enumerate() {
+                    assignments[i] = a;
+                    ub[i] = u;
+                    lb[i] = l;
+                    distance_evals += evals;
+                }
             }
             let assign_us = assign_start.elapsed().as_micros() as u64;
             let update_start = std::time::Instant::now();
@@ -184,28 +302,32 @@ impl KMeans {
             }
             let mut movement = 0.0;
             for c in 0..k {
-                if counts[c] == 0 {
+                let moved_sq = if counts[c] == 0 {
                     // Empty cluster: re-seed at the point farthest from its
                     // current centroid (standard repair).
-                    let far = points
-                        .iter()
-                        .enumerate()
-                        .max_by(|(_, a), (_, b)| {
-                            // total_cmp tolerates non-finite distances
-                            // (degenerate inputs) instead of panicking;
-                            // identical ordering for finite values.
-                            sq_dist(a, &centroids[assignments[0]])
-                                .total_cmp(&sq_dist(b, &centroids[assignments[0]]))
-                        })
-                        .map(|(i, _)| i)
+                    let far = farthest_from_own_centroid(points, &centroids, &assignments)
                         .unwrap_or_else(|| rng.gen_range(0..points.len()));
-                    movement += sq_dist(&centroids[c], &points[far]);
+                    let moved_sq = sq_dist(&centroids[c], &points[far]);
                     centroids[c] = points[far].clone();
-                    continue;
+                    moved_sq
+                } else {
+                    let new: Vec<f64> = sums[c].iter().map(|s| s / counts[c] as f64).collect();
+                    let moved_sq = sq_dist(&centroids[c], &new);
+                    centroids[c] = new;
+                    moved_sq
+                };
+                movement += moved_sq;
+                moves[c] = moved_sq.sqrt();
+            }
+            // Shift the bounds by how far the centroids travelled: a
+            // point's own centroid can only have come `moves[a]` closer
+            // or farther, and any other centroid at most `max_move`.
+            if self.config.bounded {
+                let max_move = moves.iter().cloned().fold(0.0, f64::max);
+                for (i, &a) in assignments.iter().enumerate() {
+                    ub[i] += moves[a];
+                    lb[i] -= max_move;
                 }
-                let new: Vec<f64> = sums[c].iter().map(|s| s / counts[c] as f64).collect();
-                movement += sq_dist(&centroids[c], &new);
-                centroids[c] = new;
             }
             rounds.push(RoundTiming {
                 assign_us,
@@ -226,6 +348,8 @@ impl KMeans {
             inertia += best_d;
         }
 
+        let distance_evals_skipped =
+            (iterations as u64 * n as u64 * k as u64).saturating_sub(distance_evals);
         Ok(KMeansResult {
             centroids,
             assignments,
@@ -233,6 +357,7 @@ impl KMeans {
             iterations,
             converged,
             rounds,
+            distance_evals_skipped,
         })
     }
 
@@ -446,6 +571,93 @@ mod tests {
             );
             assert_eq!(serial.iterations, par.iterations);
         }
+    }
+
+    #[test]
+    fn bounded_fit_bit_identical_to_unbounded() {
+        // Property sweep across cluster counts, geometries, and seeds:
+        // Hamerly bounds must never change what the fit returns, only
+        // how many distance evaluations it takes to get there.
+        type Blob = (&'static [(f64, f64)], usize, f64);
+        let shapes: &[Blob] = &[
+            (&[(0.0, 0.0), (10.0, 0.0), (0.0, 10.0)], 40, 0.4),
+            (&[(0.0, 0.0), (3.0, 3.0)], 60, 1.2),
+            (&[(0.0, 0.0), (4.0, 0.0), (8.0, 0.0), (12.0, 0.0)], 25, 0.9),
+        ];
+        for (si, &(centers, per, spread)) in shapes.iter().enumerate() {
+            for k in [2usize, 3, 5] {
+                for seed in [0u64, 7, 23] {
+                    let pts = blobs(centers, per, spread, seed.wrapping_add(si as u64 * 31));
+                    let fit = |bounded: bool| {
+                        KMeans::new(KMeansConfig {
+                            k,
+                            seed,
+                            bounded,
+                            ..Default::default()
+                        })
+                        .fit(&pts)
+                        .unwrap()
+                    };
+                    let plain = fit(false);
+                    let fast = fit(true);
+                    let tag = format!("shape={si} k={k} seed={seed}");
+                    assert_eq!(plain.assignments, fast.assignments, "{tag}");
+                    assert_eq!(plain.centroids, fast.centroids, "{tag}");
+                    assert_eq!(plain.inertia.to_bits(), fast.inertia.to_bits(), "{tag}");
+                    assert_eq!(plain.iterations, fast.iterations, "{tag}");
+                    assert_eq!(plain.converged, fast.converged, "{tag}");
+                    assert_eq!(plain.distance_evals_skipped, 0, "{tag}");
+                    // Multi-round fits must actually exercise the bounds.
+                    if fast.iterations > 2 {
+                        assert!(fast.distance_evals_skipped > 0, "{tag}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bounded_parallel_matches_bounded_serial() {
+        let pts = blobs(
+            &[(0.0, 0.0), (6.0, 0.0), (0.0, 6.0), (6.0, 6.0)],
+            80,
+            0.8,
+            17,
+        );
+        assert!(pts.len() >= PAR_MIN_POINTS);
+        let fit = |threads: usize| {
+            KMeans::new(KMeansConfig {
+                k: 4,
+                seed: 13,
+                threads,
+                bounded: true,
+                ..Default::default()
+            })
+            .fit(&pts)
+            .unwrap()
+        };
+        let serial = fit(1);
+        let par = fit(4);
+        assert_eq!(serial.assignments, par.assignments);
+        assert_eq!(serial.inertia.to_bits(), par.inertia.to_bits());
+        assert_eq!(serial.distance_evals_skipped, par.distance_evals_skipped);
+    }
+
+    #[test]
+    fn repair_picks_point_farthest_from_its_own_centroid() {
+        // p0 sits on its centroid c0; p1 and p2 belong to c1 at
+        // distances 1 and 5. Relative to each point's own centroid the
+        // farthest is p2 — but measured against c0 (the old comparator
+        // bug, which reused `assignments[0]` for every point) it would
+        // have been p1 at distance 10.
+        let points = vec![vec![10.0], vec![0.0], vec![6.0]];
+        let centroids = vec![vec![10.0], vec![1.0]];
+        let assignments = vec![0usize, 1, 1];
+        assert_eq!(
+            farthest_from_own_centroid(&points, &centroids, &assignments),
+            Some(2)
+        );
+        assert_eq!(farthest_from_own_centroid(&[], &centroids, &[]), None);
     }
 
     #[test]

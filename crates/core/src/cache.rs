@@ -1,0 +1,211 @@
+//! Incremental embedding cache for the 1D-CNN compressor.
+//!
+//! Between reservation intervals most twins receive only a handful of new
+//! samples, and many (idle users, users whose collectors are faulted)
+//! receive none at all. Re-encoding an unchanged feature window produces
+//! bit-identical features, so the scheme keeps the last encoding per user
+//! keyed by the twin's [`TwinRevision`] and only pays the CNN forward
+//! pass for users whose window content actually changed.
+//!
+//! Correctness rests on two invariants:
+//!
+//! - a twin's revision changes whenever an accepted mutation could alter
+//!   its feature window (see [`UserDigitalTwin::revision`]), and churned
+//!   `UserId` slots never alias thanks to the store-stamped instance
+//!   nonce;
+//! - the compressor is deterministic per row, so an entry cached at
+//!   generation `g` (the compressor's trained-epoch count) equals what a
+//!   fresh encode at generation `g` would produce. A generation change
+//!   (retraining after [`thaw`]) invalidates every entry.
+//!
+//! [`thaw`]: crate::compressor::CnnCompressor::thaw
+
+use std::collections::{HashMap, HashSet};
+
+use msvs_types::UserId;
+use msvs_udt::{TwinRevision, UserDigitalTwin};
+
+/// One cached encoding: the twin revision it was computed from and the
+/// resulting feature vector (embedding ++ weighted preference).
+#[derive(Debug, Clone)]
+struct Entry {
+    revision: TwinRevision,
+    features: Vec<f64>,
+}
+
+/// The lookup result for one population snapshot: which twins must be
+/// re-encoded. Indices refer to the snapshot slice handed to
+/// [`EmbeddingCache::plan`]; hits are every index not listed.
+#[derive(Debug)]
+pub struct CachePlan {
+    /// Snapshot indices needing a fresh encode, in snapshot order.
+    pub miss_indices: Vec<usize>,
+    /// Number of twins served from the cache.
+    pub hits: usize,
+}
+
+/// Per-user memo of the last CNN encoding, invalidated by twin revision
+/// or compressor generation changes.
+#[derive(Debug, Default)]
+pub struct EmbeddingCache {
+    /// Compressor generation (trained-epoch count) the entries belong to.
+    generation: u64,
+    entries: HashMap<UserId, Entry>,
+}
+
+impl EmbeddingCache {
+    /// Builds an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of cached users.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Splits a population snapshot into hits and misses for compressor
+    /// `generation`. A generation mismatch (the compressor was retrained)
+    /// drops every entry first, so stale-generation features can never be
+    /// served.
+    pub fn plan(&mut self, generation: u64, twins: &[UserDigitalTwin]) -> CachePlan {
+        if generation != self.generation {
+            self.entries.clear();
+            self.generation = generation;
+        }
+        let miss_indices: Vec<usize> = twins
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| {
+                self.entries
+                    .get(&t.user())
+                    .is_none_or(|e| e.revision != t.revision())
+            })
+            .map(|(i, _)| i)
+            .collect();
+        let hits = twins.len() - miss_indices.len();
+        CachePlan { miss_indices, hits }
+    }
+
+    /// Stores the freshly-encoded features for `plan`'s misses, prunes
+    /// users absent from the snapshot, and returns the full feature
+    /// matrix in snapshot order (cached rows cloned, fresh rows moved).
+    ///
+    /// # Panics
+    /// Panics if `fresh` does not match the plan's miss count — the
+    /// caller must encode exactly the planned misses, in plan order.
+    pub fn complete(
+        &mut self,
+        twins: &[UserDigitalTwin],
+        plan: &CachePlan,
+        fresh: Vec<Vec<f64>>,
+    ) -> Vec<Vec<f64>> {
+        assert_eq!(
+            fresh.len(),
+            plan.miss_indices.len(),
+            "fresh encodings must match planned misses"
+        );
+        for (&i, features) in plan.miss_indices.iter().zip(fresh) {
+            self.entries.insert(
+                twins[i].user(),
+                Entry {
+                    revision: twins[i].revision(),
+                    features,
+                },
+            );
+        }
+        if self.entries.len() > twins.len() {
+            let live: HashSet<UserId> = twins.iter().map(|t| t.user()).collect();
+            self.entries.retain(|user, _| live.contains(user));
+        }
+        twins
+            .iter()
+            .map(|t| self.entries[&t.user()].features.clone())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msvs_types::SimTime;
+
+    fn twin(id: u32) -> UserDigitalTwin {
+        let mut t = UserDigitalTwin::new(UserId(id));
+        t.update_channel(SimTime::from_secs(1), 10.0 + id as f64);
+        t
+    }
+
+    fn rows(n: usize) -> Vec<Vec<f64>> {
+        (0..n).map(|i| vec![i as f64; 3]).collect()
+    }
+
+    #[test]
+    fn cold_cache_misses_everything_then_hits() {
+        let mut cache = EmbeddingCache::new();
+        let twins = vec![twin(0), twin(1), twin(2)];
+        let plan = cache.plan(5, &twins);
+        assert_eq!(plan.miss_indices, vec![0, 1, 2]);
+        assert_eq!(plan.hits, 0);
+        let features = cache.complete(&twins, &plan, rows(3));
+        assert_eq!(features, rows(3));
+        // Unchanged twins: all hits, same features back.
+        let plan = cache.plan(5, &twins);
+        assert!(plan.miss_indices.is_empty());
+        assert_eq!(plan.hits, 3);
+        assert_eq!(cache.complete(&twins, &plan, Vec::new()), rows(3));
+    }
+
+    #[test]
+    fn mutated_twin_misses_alone() {
+        let mut cache = EmbeddingCache::new();
+        let mut twins = vec![twin(0), twin(1), twin(2)];
+        let plan = cache.plan(1, &twins);
+        cache.complete(&twins, &plan, rows(3));
+        twins[1].update_channel(SimTime::from_secs(2), 3.0);
+        let plan = cache.plan(1, &twins);
+        assert_eq!(plan.miss_indices, vec![1]);
+        assert_eq!(plan.hits, 2);
+        let features = cache.complete(&twins, &plan, vec![vec![9.0; 3]]);
+        assert_eq!(features[0], vec![0.0; 3]);
+        assert_eq!(features[1], vec![9.0; 3]);
+        assert_eq!(features[2], vec![2.0; 3]);
+    }
+
+    #[test]
+    fn generation_change_clears_everything() {
+        let mut cache = EmbeddingCache::new();
+        let twins = vec![twin(0), twin(1)];
+        let plan = cache.plan(1, &twins);
+        cache.complete(&twins, &plan, rows(2));
+        let plan = cache.plan(2, &twins);
+        assert_eq!(plan.miss_indices, vec![0, 1], "retrain invalidates all");
+    }
+
+    #[test]
+    fn departed_users_are_pruned() {
+        let mut cache = EmbeddingCache::new();
+        let twins = vec![twin(0), twin(1), twin(2)];
+        let plan = cache.plan(1, &twins);
+        cache.complete(&twins, &plan, rows(3));
+        let keep = vec![twins[2].clone()];
+        let plan = cache.plan(1, &keep);
+        assert_eq!(plan.hits, 1);
+        cache.complete(&keep, &plan, Vec::new());
+        assert_eq!(cache.len(), 1, "absent users pruned");
+    }
+
+    #[test]
+    #[should_panic(expected = "fresh encodings must match planned misses")]
+    fn mismatched_fresh_rows_panic() {
+        let mut cache = EmbeddingCache::new();
+        let twins = vec![twin(0)];
+        let plan = cache.plan(1, &twins);
+        cache.complete(&twins, &plan, Vec::new());
+    }
+}

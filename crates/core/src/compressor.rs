@@ -7,7 +7,11 @@
 //! small embedding; a dense decoder reconstructs the input, providing the
 //! training signal without labels.
 
-use msvs_nn::{mse_loss, Adam, Conv1d, Dense, Flatten, Optimizer, Relu, Sequential, Tensor};
+use std::cell::RefCell;
+
+use msvs_nn::{
+    mse_loss, Adam, Conv1d, Dense, Flatten, Optimizer, Relu, Scratch, Sequential, Tensor,
+};
 use msvs_par::{ParStats, Pool};
 use msvs_telemetry::{stages, SpanAttrs, SpanCollector};
 use msvs_types::{Error, Result};
@@ -220,17 +224,28 @@ impl CnnCompressor {
     /// # Errors
     /// Propagates shape errors from malformed windows.
     pub fn encode(&self, windows: &[FeatureWindow]) -> Result<Vec<Vec<f64>>> {
+        // One scratch arena per worker thread: the pool spawns scoped
+        // workers per call, and within a call every batch a worker
+        // encodes reuses the same high-water-mark buffers, so the
+        // steady-state encoder forward pass allocates nothing.
+        thread_local! {
+            static SCRATCH: RefCell<Scratch> = RefCell::new(Scratch::new());
+        }
         let x = windows_to_tensor(windows)?;
         self.check_input(&x)?;
-        let code = self.encoder.infer(&x);
-        Ok(windows
-            .iter()
-            .enumerate()
-            .map(|(i, w)| {
-                let emb: Vec<f32> = code.row(i);
-                embedding_features(&emb, &w.preference, self.config.preference_weight)
-            })
-            .collect())
+        SCRATCH.with(|cell| {
+            let mut scratch = cell.borrow_mut();
+            let (code, shape) = self.encoder.infer_scratch(&x, &mut scratch);
+            let embed = shape.dims()[1];
+            Ok(windows
+                .iter()
+                .enumerate()
+                .map(|(i, w)| {
+                    let emb = &code[i * embed..(i + 1) * embed];
+                    embedding_features(emb, &w.preference, self.config.preference_weight)
+                })
+                .collect())
+        })
     }
 
     /// Windows per worker batch in [`encode_with`](Self::encode_with).

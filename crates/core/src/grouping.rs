@@ -409,7 +409,19 @@ impl GroupingEngine {
                 cursor += timing.update_us;
             }
         }
+        if let Some(t) = &self.telemetry {
+            t.counter("kmeans_distance_evals_skipped", "all")
+                .add(fit.distance_evals_skipped);
+        }
+        // Silhouette is O(n²·d) — often heavier than the fit itself — so
+        // it gets its own stage instead of inflating `kmeans_fit`.
+        drop(scope);
+        let sil_scope = self
+            .telemetry
+            .as_ref()
+            .map(|t| t.stage_scope(msvs_telemetry::stages::SILHOUETTE));
         let sil = silhouette(features, &fit.assignments);
+        drop(sil_scope);
         Ok(Grouping {
             k,
             assignments: fit.assignments,

@@ -24,6 +24,7 @@
 //! flow; unit-level examples live on the individual types.
 
 pub mod baselines;
+pub mod cache;
 pub mod compressor;
 pub mod demand;
 pub mod features;
@@ -35,6 +36,7 @@ pub mod scheme;
 pub mod swiping;
 
 pub use baselines::HistoricalMeanPredictor;
+pub use cache::{CachePlan, EmbeddingCache};
 pub use compressor::{CnnCompressor, CompressorConfig};
 pub use demand::{
     choose_group_level, predict_group_demand, DemandConfig, GroupDemandPrediction, MemberState,

@@ -6,6 +6,7 @@ use msvs_types::{CpuCycles, Error, GroupId, ResourceBlocks, Result, UserId};
 use msvs_udt::{UdtStore, UserDigitalTwin};
 use msvs_video::Catalog;
 
+use crate::cache::EmbeddingCache;
 use crate::compressor::{CnnCompressor, CompressorConfig};
 use crate::demand::{predict_group_demand, DemandConfig, GroupDemandPrediction};
 use crate::grouping::{Grouping, GroupingConfig, GroupingEngine};
@@ -161,6 +162,10 @@ pub struct SchemeConfig {
     pub snr_estimator: SnrEstimator,
     /// Graceful-degradation policy for stale twin data.
     pub degradation: DegradationConfig,
+    /// Reuse the last CNN encoding for users whose twin window content is
+    /// unchanged (tracked by per-attribute revision counters). Features
+    /// are bit-identical either way; off disables the memo entirely.
+    pub embedding_cache: bool,
     /// Worker threads for the parallel pipeline stages (CNN encode and
     /// K-means assignment): `1` = serial, `0` = all available cores.
     /// Predictions are bit-identical at any thread count.
@@ -180,6 +185,7 @@ impl Default for SchemeConfig {
             per_bs_accounting: false,
             snr_estimator: SnrEstimator::default(),
             degradation: DegradationConfig::default(),
+            embedding_cache: true,
             threads: 1,
         }
     }
@@ -237,6 +243,7 @@ impl PredictionOutcome {
 pub struct DtAssistedPredictor {
     config: SchemeConfig,
     compressor: CnnCompressor,
+    cache: EmbeddingCache,
     engine: GroupingEngine,
     pool: msvs_par::Pool,
     fallback: crate::baselines::HistoricalMeanPredictor,
@@ -268,6 +275,7 @@ impl DtAssistedPredictor {
         Ok(Self {
             config,
             compressor,
+            cache: EmbeddingCache::new(),
             engine,
             pool,
             fallback,
@@ -323,15 +331,31 @@ impl DtAssistedPredictor {
         self.compressor.thaw();
     }
 
+    /// One twin's feature window per the configured compressor geometry.
+    fn window_of(&self, twin: &UserDigitalTwin) -> msvs_udt::FeatureWindow {
+        twin.feature_window(
+            self.config.compressor.window,
+            self.config.map_width,
+            self.config.map_height,
+        )
+    }
+
     /// Trains the compressor if it is not yet frozen, freezes it, then
-    /// encodes `windows` on the worker pool. Exports pool utilisation
-    /// gauges when telemetry is attached.
-    fn train_and_encode(&mut self, windows: &[msvs_udt::FeatureWindow]) -> Result<Vec<Vec<f64>>> {
+    /// encodes the population on the worker pool — through the embedding
+    /// cache when enabled, so only twins whose window content changed
+    /// since the last pass pay a CNN forward pass. Features are
+    /// bit-identical with the cache on or off. Exports pool utilisation
+    /// gauges and `cnn_cache_hits`/`cnn_cache_misses` counters when
+    /// telemetry is attached.
+    fn encode_population(&mut self, twins: &[UserDigitalTwin]) -> Result<Vec<Vec<f64>>> {
         if !self.compressor.is_frozen() {
+            let windows: Vec<_> = twins.iter().map(|t| self.window_of(t)).collect();
             let _train_scope = self.stage_scope(msvs_telemetry::stages::CNN_TRAIN);
-            self.compressor.train(windows)?;
+            self.compressor.train(&windows)?;
             self.compressor.freeze();
         }
+        // The forward scope opens even on an all-hit pass: a cache hit is
+        // a (cheap) outcome of the cnn_forward stage, not its absence.
         let forward_scope = self.stage_scope(msvs_telemetry::stages::CNN_FORWARD);
         // When tracing, each worker batch records a cnn_encode_batch span
         // adopted under the cnn_forward span after the pool joins.
@@ -340,7 +364,30 @@ impl DtAssistedPredictor {
             .as_ref()
             .zip(forward_scope.as_ref())
             .map(|(t, scope)| (t.span_collector(), scope.span_id()));
-        let (features, stats) = self.compressor.encode_traced(windows, &self.pool, trace)?;
+        let (features, stats, hits, misses) = if self.config.embedding_cache {
+            let plan = self
+                .cache
+                .plan(self.compressor.trained_epochs() as u64, twins);
+            let miss_windows: Vec<_> = plan
+                .miss_indices
+                .iter()
+                .map(|&i| self.window_of(&twins[i]))
+                .collect();
+            let (fresh, stats) = self
+                .compressor
+                .encode_traced(&miss_windows, &self.pool, trace)?;
+            let (hits, misses) = (plan.hits, plan.miss_indices.len());
+            (
+                self.cache.complete(twins, &plan, fresh),
+                stats,
+                hits,
+                misses,
+            )
+        } else {
+            let windows: Vec<_> = twins.iter().map(|t| self.window_of(t)).collect();
+            let (features, stats) = self.compressor.encode_traced(&windows, &self.pool, trace)?;
+            (features, stats, 0, twins.len())
+        };
         drop(forward_scope);
         if let Some(t) = &self.telemetry {
             t.gauge("par_threads", msvs_telemetry::stages::CNN_FORWARD)
@@ -349,6 +396,8 @@ impl DtAssistedPredictor {
                 .set(stats.utilisation());
             t.gauge("par_speedup", msvs_telemetry::stages::CNN_FORWARD)
                 .set(stats.effective_parallelism());
+            t.counter("cnn_cache_hits", "all").add(hits as u64);
+            t.counter("cnn_cache_misses", "all").add(misses as u64);
         }
         Ok(features)
     }
@@ -368,17 +417,7 @@ impl DtAssistedPredictor {
                 twins.len()
             )));
         }
-        let windows: Vec<_> = twins
-            .iter()
-            .map(|t| {
-                t.feature_window(
-                    self.config.compressor.window,
-                    self.config.map_width,
-                    self.config.map_height,
-                )
-            })
-            .collect();
-        let features = self.train_and_encode(&windows)?;
+        let features = self.encode_population(&twins)?;
         self.engine.pretrain(&[features], rounds)
     }
 
@@ -436,17 +475,7 @@ impl DtAssistedPredictor {
         }
         self.intervals_predicted += 1;
         let user_order: Vec<UserId> = twins.iter().map(|t| t.user()).collect();
-        let windows: Vec<_> = twins
-            .iter()
-            .map(|t| {
-                t.feature_window(
-                    self.config.compressor.window,
-                    self.config.map_width,
-                    self.config.map_height,
-                )
-            })
-            .collect();
-        let features = self.train_and_encode(&windows)?;
+        let features = self.encode_population(&twins)?;
         let grouping = self.engine.construct(&features)?;
 
         let mut swiping = Vec::with_capacity(grouping.k);

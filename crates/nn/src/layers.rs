@@ -8,6 +8,7 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use crate::kernels::{self, Shape};
 use crate::tensor::Tensor;
 
 /// A differentiable network layer.
@@ -23,6 +24,28 @@ pub trait Layer: Send + Sync {
     /// for every layer, which lets many threads share one frozen network —
     /// the contract the parallel encode path in `msvs-core` relies on.
     fn infer(&self, input: &Tensor) -> Tensor;
+
+    /// Allocation-free inference: reads `input` (flat, row-major, laid
+    /// out per `shape`), writes the result into `out`, and returns the
+    /// output shape. `patch` is kernel workspace (im2col) owned by the
+    /// caller's [`kernels::Scratch`] arena. Bit-identical to
+    /// [`Layer::infer`]; the default implementation round-trips through
+    /// it for layers without a bespoke kernel.
+    fn infer_into(
+        &self,
+        input: &[f32],
+        shape: Shape,
+        out: &mut Vec<f32>,
+        patch: &mut Vec<f32>,
+    ) -> Shape {
+        let _ = patch;
+        let x = Tensor::from_vec(input.to_vec(), shape.to_vec()).expect("shape matches input");
+        let y = self.infer(&x);
+        let out_shape = Shape::from_dims(y.shape());
+        out.clear();
+        out.extend_from_slice(y.data());
+        out_shape
+    }
 
     /// Backpropagates `grad_out`, accumulating parameter gradients and
     /// returning the gradient with respect to the layer input.
@@ -57,10 +80,17 @@ fn he_init(rng: &mut StdRng, fan_in: usize, n: usize) -> Vec<f32> {
 
 /// Fully-connected layer: `y = x W^T + b`, input `[batch, in]`, output
 /// `[batch, out]`.
+///
+/// Keeps a cached transpose `weight_t` (`[in, out]`) so inference runs
+/// the cache-blocked GEMM without materialising a transpose per call.
+/// The cache is refreshed at every weight-mutation site — construction
+/// and [`Layer::visit_params`] (the optimiser's only write path; the
+/// fields are private, so nothing else can touch the weights).
 #[derive(Debug, Clone)]
 pub struct Dense {
-    weight: Tensor, // [out, in]
-    bias: Tensor,   // [out]
+    weight: Tensor,   // [out, in]
+    weight_t: Tensor, // [in, out], always == weight.transpose()
+    bias: Tensor,     // [out]
     w_grad: Tensor,
     b_grad: Tensor,
     input: Option<Tensor>,
@@ -79,12 +109,27 @@ impl Dense {
             vec![out_dim, in_dim],
         )
         .expect("init length matches");
-        Self {
+        let mut layer = Self {
             w_grad: Tensor::zeros(vec![out_dim, in_dim]),
             b_grad: Tensor::zeros(vec![out_dim]),
             bias: Tensor::zeros(vec![out_dim]),
+            weight_t: Tensor::zeros(vec![in_dim, out_dim]),
             weight,
             input: None,
+        };
+        layer.sync_weight_t();
+        layer
+    }
+
+    /// Rewrites `weight_t` from `weight`, in place (no allocation).
+    fn sync_weight_t(&mut self) {
+        let (out_dim, in_dim) = (self.weight.shape()[0], self.weight.shape()[1]);
+        let w = self.weight.data();
+        let wt = self.weight_t.data_mut();
+        for o in 0..out_dim {
+            for p in 0..in_dim {
+                wt[p * out_dim + o] = w[o * in_dim + p];
+            }
         }
     }
 
@@ -105,16 +150,18 @@ impl Dense {
             self.in_dim(),
             "dense input width mismatch"
         );
-        let out = input.matmul(&self.weight.transpose());
         let batch = input.shape()[0];
-        let mut with_bias = out;
-        for b in 0..batch {
-            for o in 0..self.out_dim() {
-                let v = with_bias.get2(b, o) + self.bias.data()[o];
-                with_bias.set2(b, o, v);
-            }
-        }
-        with_bias
+        let mut out = Tensor::zeros(vec![batch, self.out_dim()]);
+        kernels::dense_infer(
+            input.data(),
+            self.weight_t.data(),
+            self.bias.data(),
+            out.data_mut(),
+            batch,
+            self.in_dim(),
+            self.out_dim(),
+        );
+        out
     }
 }
 
@@ -128,6 +175,30 @@ impl Layer for Dense {
 
     fn infer(&self, input: &Tensor) -> Tensor {
         self.compute(input)
+    }
+
+    fn infer_into(
+        &self,
+        input: &[f32],
+        shape: Shape,
+        out: &mut Vec<f32>,
+        _patch: &mut Vec<f32>,
+    ) -> Shape {
+        assert_eq!(shape.rank(), 2, "dense expects [batch, features]");
+        assert_eq!(shape.dims()[1], self.in_dim(), "dense input width mismatch");
+        let batch = shape.dims()[0];
+        out.clear();
+        out.resize(batch * self.out_dim(), 0.0);
+        kernels::dense_infer(
+            input,
+            self.weight_t.data(),
+            self.bias.data(),
+            out,
+            batch,
+            self.in_dim(),
+            self.out_dim(),
+        );
+        Shape::rank2(batch, self.out_dim())
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
@@ -155,6 +226,9 @@ impl Layer for Dense {
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Tensor, &mut Tensor)) {
         f(&mut self.weight, &mut self.w_grad);
         f(&mut self.bias, &mut self.b_grad);
+        // The visitor may have stepped the weights; keep the cached
+        // transpose coherent.
+        self.sync_weight_t();
     }
 
     fn clone_box(&self) -> Box<dyn Layer> {
@@ -215,30 +289,15 @@ impl Conv1d {
     }
 
     fn compute(&self, input: &Tensor) -> Tensor {
-        assert_eq!(input.shape().len(), 3, "conv1d expects [batch, ch, len]");
-        let (out_ch, in_ch, kernel) = self.dims();
-        assert_eq!(input.shape()[1], in_ch, "conv1d channel mismatch");
-        let batch = input.shape()[0];
-        let in_len = input.shape()[2];
-        let out_len = self
-            .out_len(in_len)
-            .unwrap_or_else(|| panic!("input length {in_len} shorter than kernel {kernel}"));
-        let mut out = Tensor::zeros(vec![batch, out_ch, out_len]);
-        for b in 0..batch {
-            for oc in 0..out_ch {
-                for t in 0..out_len {
-                    let start = t * self.stride;
-                    let mut acc = self.bias.data()[oc];
-                    for ic in 0..in_ch {
-                        for k in 0..kernel {
-                            acc += self.weight.get3(oc, ic, k) * input.get3(b, ic, start + k);
-                        }
-                    }
-                    out.set3(b, oc, t, acc);
-                }
-            }
-        }
-        out
+        let mut patch = Vec::new();
+        let mut out = Vec::new();
+        let shape = self.infer_into(
+            input.data(),
+            Shape::from_dims(input.shape()),
+            &mut out,
+            &mut patch,
+        );
+        Tensor::from_vec(out, shape.to_vec()).expect("kernel output matches shape")
     }
 }
 
@@ -252,6 +311,40 @@ impl Layer for Conv1d {
 
     fn infer(&self, input: &Tensor) -> Tensor {
         self.compute(input)
+    }
+
+    fn infer_into(
+        &self,
+        input: &[f32],
+        shape: Shape,
+        out: &mut Vec<f32>,
+        patch: &mut Vec<f32>,
+    ) -> Shape {
+        assert_eq!(shape.rank(), 3, "conv1d expects [batch, ch, len]");
+        let (out_ch, in_ch, kernel) = self.dims();
+        assert_eq!(shape.dims()[1], in_ch, "conv1d channel mismatch");
+        let batch = shape.dims()[0];
+        let in_len = shape.dims()[2];
+        let out_len = self
+            .out_len(in_len)
+            .unwrap_or_else(|| panic!("input length {in_len} shorter than kernel {kernel}"));
+        out.clear();
+        out.resize(batch * out_ch * out_len, 0.0);
+        kernels::conv1d_infer(
+            input,
+            self.weight.data(),
+            self.bias.data(),
+            out,
+            patch,
+            batch,
+            in_ch,
+            in_len,
+            out_ch,
+            kernel,
+            self.stride,
+            out_len,
+        );
+        Shape::rank3(batch, out_ch, out_len)
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
@@ -346,6 +439,19 @@ impl Layer for Relu {
         out
     }
 
+    fn infer_into(
+        &self,
+        input: &[f32],
+        shape: Shape,
+        out: &mut Vec<f32>,
+        _patch: &mut Vec<f32>,
+    ) -> Shape {
+        out.clear();
+        // `v <= 0.0` (not `max`) so NaN propagates exactly as in `infer`.
+        out.extend(input.iter().map(|&v| if v <= 0.0 { 0.0 } else { v }));
+        shape
+    }
+
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
         let mask = self
             .mask
@@ -400,6 +506,18 @@ impl Layer for Tanh {
             *v = v.tanh();
         }
         out
+    }
+
+    fn infer_into(
+        &self,
+        input: &[f32],
+        shape: Shape,
+        out: &mut Vec<f32>,
+        _patch: &mut Vec<f32>,
+    ) -> Shape {
+        out.clear();
+        out.extend(input.iter().map(|v| v.tanh()));
+        shape
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
@@ -501,6 +619,32 @@ impl Layer for MaxPool1d {
         out
     }
 
+    fn infer_into(
+        &self,
+        input: &[f32],
+        shape: Shape,
+        out: &mut Vec<f32>,
+        _patch: &mut Vec<f32>,
+    ) -> Shape {
+        assert_eq!(shape.rank(), 3, "maxpool expects [batch, ch, len]");
+        let (batch, ch, in_len) = (shape.dims()[0], shape.dims()[1], shape.dims()[2]);
+        let out_len = self.out_len(in_len);
+        assert!(out_len > 0, "input length {in_len} shorter than window");
+        out.clear();
+        for bc in 0..batch * ch {
+            let row = &input[bc * in_len..(bc + 1) * in_len];
+            for t in 0..out_len {
+                let start = t * self.window;
+                let mut best = row[start];
+                for k in 1..self.window {
+                    best = best.max(row[start + k]);
+                }
+                out.push(best);
+            }
+        }
+        Shape::rank3(batch, ch, out_len)
+    }
+
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
         let (in_shape, indices) = self
             .argmax
@@ -566,6 +710,20 @@ impl Layer for Flatten {
             .clone()
             .reshape(vec![batch, rest])
             .expect("flatten preserves element count")
+    }
+
+    fn infer_into(
+        &self,
+        input: &[f32],
+        shape: Shape,
+        out: &mut Vec<f32>,
+        _patch: &mut Vec<f32>,
+    ) -> Shape {
+        let batch = shape.dims()[0];
+        let rest: usize = shape.dims()[1..].iter().product();
+        out.clear();
+        out.extend_from_slice(input);
+        Shape::rank2(batch, rest)
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {

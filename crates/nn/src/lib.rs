@@ -36,12 +36,14 @@
 //! assert!(last < 0.05, "loss {last}");
 //! ```
 
+pub mod kernels;
 pub mod layers;
 pub mod loss;
 pub mod network;
 pub mod optim;
 pub mod tensor;
 
+pub use kernels::{Scratch, Shape};
 pub use layers::{Conv1d, Dense, DuelingHead, Flatten, Layer, MaxPool1d, Relu, Tanh};
 pub use loss::{huber_loss, masked_mse_loss, mse_loss};
 pub use network::Sequential;

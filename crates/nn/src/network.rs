@@ -1,5 +1,6 @@
 //! Layer composition.
 
+use crate::kernels::{Scratch, Shape};
 use crate::layers::Layer;
 use crate::tensor::Tensor;
 
@@ -64,11 +65,34 @@ impl Sequential {
     /// `forward(input, false)` but never touches layer caches, so a frozen
     /// network can be shared across threads (`Sequential: Sync`).
     pub fn infer(&self, input: &Tensor) -> Tensor {
-        let mut x = input.clone();
-        for layer in &self.layers {
-            x = layer.infer(&x);
+        let mut scratch = Scratch::new();
+        let (data, shape) = self.infer_scratch(input, &mut scratch);
+        Tensor::from_vec(data.to_vec(), shape.to_vec()).expect("kernel output matches shape")
+    }
+
+    /// Allocation-free inference: activations ping-pong through the two
+    /// buffers of a caller-owned [`Scratch`] arena, so steady-state calls
+    /// (same architecture and batch shape) perform zero heap allocations.
+    /// Returns a view of the final activation plus its shape; bit-identical
+    /// to [`Sequential::infer`].
+    pub fn infer_scratch<'s>(
+        &self,
+        input: &Tensor,
+        scratch: &'s mut Scratch,
+    ) -> (&'s [f32], Shape) {
+        let mut cur = std::mem::take(&mut scratch.bufs[0]);
+        let mut next = std::mem::take(&mut scratch.bufs[1]);
+        let mut patch = std::mem::take(&mut scratch.patch);
+        let mut shape = Shape::from_dims(input.shape());
+        shape = self.layers[0].infer_into(input.data(), shape, &mut cur, &mut patch);
+        for layer in &self.layers[1..] {
+            shape = layer.infer_into(&cur, shape, &mut next, &mut patch);
+            std::mem::swap(&mut cur, &mut next);
         }
-        x
+        scratch.bufs[0] = cur;
+        scratch.bufs[1] = next;
+        scratch.patch = patch;
+        (&scratch.bufs[0][..shape.len()], shape)
     }
 
     /// Backpropagates the loss gradient, accumulating parameter gradients.

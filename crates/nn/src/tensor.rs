@@ -162,19 +162,7 @@ impl Tensor {
         let (k2, n) = (rhs.shape[0], rhs.shape[1]);
         assert_eq!(k, k2, "inner dimensions must agree: {k} vs {k2}");
         let mut out = Tensor::zeros(vec![m, n]);
-        for i in 0..m {
-            for p in 0..k {
-                let a = self.data[i * k + p];
-                if a == 0.0 {
-                    continue;
-                }
-                let row = &rhs.data[p * n..(p + 1) * n];
-                let dst = &mut out.data[i * n..(i + 1) * n];
-                for (d, &b) in dst.iter_mut().zip(row) {
-                    *d += a * b;
-                }
-            }
-        }
+        crate::kernels::gemm_zero_skip(&self.data, &rhs.data, &mut out.data, m, k, n);
         out
     }
 

@@ -26,6 +26,9 @@ pub const KMEANS_FIT: &str = "kmeans_fit";
 pub const KMEANS_ASSIGN: &str = "kmeans_assign";
 /// One Lloyd-iteration centroid update inside a K-means fit.
 pub const KMEANS_UPDATE: &str = "kmeans_update";
+/// Silhouette scoring of a finished clustering (O(n²·d); scoped apart
+/// from `kmeans_fit` so the fit latency reflects Lloyd's algorithm).
+pub const SILHOUETTE: &str = "silhouette";
 /// Swiping-abstraction construction + engagement prediction.
 pub const SWIPING_ABSTRACTION: &str = "swiping_abstraction";
 /// Per-group resource demand prediction.
@@ -53,6 +56,7 @@ pub const ALL: &[&str] = &[
     KMEANS_FIT,
     KMEANS_ASSIGN,
     KMEANS_UPDATE,
+    SILHOUETTE,
     SWIPING_ABSTRACTION,
     DEMAND_PREDICT,
     SCHEME_PREDICT,

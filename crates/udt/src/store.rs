@@ -1,6 +1,7 @@
 //! The concurrent edge-resident twin registry.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::RwLock;
 
 use msvs_types::{Error, Position, Result, SimTime, UserId};
@@ -20,6 +21,10 @@ const SHARDS: usize = 16;
 #[derive(Debug, Default)]
 pub struct UdtStore {
     shards: Vec<RwLock<HashMap<UserId, UserDigitalTwin>>>,
+    /// Stamps each inserted twin with a fresh instance nonce so churned
+    /// `UserId` slots never alias in revision-keyed caches. Inserts run
+    /// serially in the simulation, so stamping order is deterministic.
+    next_instance: AtomicU64,
 }
 
 impl UdtStore {
@@ -27,6 +32,7 @@ impl UdtStore {
     pub fn new() -> Self {
         Self {
             shards: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
+            next_instance: AtomicU64::new(1),
         }
     }
 
@@ -59,8 +65,10 @@ impl UdtStore {
         self.len() == 0
     }
 
-    /// Registers (or replaces) a twin.
-    pub fn insert(&self, twin: UserDigitalTwin) {
+    /// Registers (or replaces) a twin, stamping it with a fresh instance
+    /// nonce (see [`UserDigitalTwin::revision`]).
+    pub fn insert(&self, mut twin: UserDigitalTwin) {
+        twin.set_instance(self.next_instance.fetch_add(1, Ordering::Relaxed));
         Self::write(self.shard(twin.user())).insert(twin.user(), twin);
     }
 
@@ -240,6 +248,20 @@ mod tests {
             store.fresh_fraction(SimTime::from_secs(60), SimDuration::from_secs(5)),
             0.0
         );
+    }
+
+    #[test]
+    fn reinserting_a_user_slot_gets_a_fresh_instance() {
+        let store = UdtStore::new();
+        store.insert(UserDigitalTwin::new(UserId(7)));
+        let first = store.with_twin(UserId(7), |t| t.revision()).unwrap();
+        assert_ne!(first.instance, 0, "store stamps a nonce");
+        // Churn: same id slot, brand-new twin. Revisions reset but the
+        // instance nonce must differ so caches cannot alias the two.
+        store.insert(UserDigitalTwin::new(UserId(7)));
+        let second = store.with_twin(UserId(7), |t| t.revision()).unwrap();
+        assert_ne!(first.instance, second.instance);
+        assert_eq!(second.channel, 0);
     }
 
     #[test]

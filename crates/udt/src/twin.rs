@@ -53,6 +53,35 @@ pub struct UserDigitalTwin {
     watches: TimeSeries<WatchRecord>,
     preference: Vec<f64>,
     preference_updated: Option<SimTime>,
+    /// Store-stamped creation nonce: distinguishes successive twins that
+    /// reuse one `UserId` slot (churn), so downstream caches keyed on
+    /// revisions cannot confuse them. Run-local bookkeeping.
+    instance: u64,
+    /// Monotone per-attribute revision counters, bumped only when a
+    /// mutation is actually *accepted* (rejected corrupt samples leave
+    /// them untouched). Together with `instance` they let the embedding
+    /// cache prove a feature window unchanged without re-reading the
+    /// series. Run-local bookkeeping.
+    channel_rev: u64,
+    location_rev: u64,
+    watch_rev: u64,
+    preference_rev: u64,
+}
+
+/// Snapshot of a twin's identity nonce plus per-attribute revisions —
+/// equal keys prove the twin's feature-relevant content is unchanged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TwinRevision {
+    /// Store-stamped creation nonce (churn-safe identity).
+    pub instance: u64,
+    /// Channel-series revision.
+    pub channel: u64,
+    /// Location-series revision.
+    pub location: u64,
+    /// Watch-series revision.
+    pub watch: u64,
+    /// Preference-vector revision.
+    pub preference: u64,
 }
 
 impl UserDigitalTwin {
@@ -65,12 +94,32 @@ impl UserDigitalTwin {
             watches: TimeSeries::new(WATCH_CAPACITY),
             preference: vec![1.0 / VideoCategory::COUNT as f64; VideoCategory::COUNT],
             preference_updated: None,
+            instance: 0,
+            channel_rev: 0,
+            location_rev: 0,
+            watch_rev: 0,
+            preference_rev: 0,
         }
     }
 
     /// The mirrored user.
     pub fn user(&self) -> UserId {
         self.user
+    }
+
+    /// The combined identity + revision key for cache invalidation.
+    pub fn revision(&self) -> TwinRevision {
+        TwinRevision {
+            instance: self.instance,
+            channel: self.channel_rev,
+            location: self.location_rev,
+            watch: self.watch_rev,
+            preference: self.preference_rev,
+        }
+    }
+
+    pub(crate) fn set_instance(&mut self, instance: u64) {
+        self.instance = instance;
     }
 
     /// SNR plausibility bound, dB: anything outside `±100` is a corrupted
@@ -87,6 +136,7 @@ impl UserDigitalTwin {
     pub fn update_channel(&mut self, at: SimTime, snr_db: f64) -> bool {
         if snr_db.is_finite() && snr_db.abs() <= Self::SNR_PLAUSIBLE_DB {
             self.channel_db.push(at, snr_db);
+            self.channel_rev += 1;
             true
         } else {
             false
@@ -98,6 +148,7 @@ impl UserDigitalTwin {
     pub fn update_location(&mut self, at: SimTime, position: Position) -> bool {
         if position.x.is_finite() && position.y.is_finite() {
             self.location.push(at, position);
+            self.location_rev += 1;
             true
         } else {
             false
@@ -107,6 +158,7 @@ impl UserDigitalTwin {
     /// Records a completed/swiped video view.
     pub fn record_watch(&mut self, at: SimTime, record: WatchRecord) {
         self.watches.push(at, record);
+        self.watch_rev += 1;
     }
 
     /// Replaces the preference estimate (e.g. from the recommender's
@@ -122,6 +174,7 @@ impl UserDigitalTwin {
         );
         self.preference = preference;
         self.preference_updated = Some(at);
+        self.preference_rev += 1;
     }
 
     /// Nudges the preference towards the categories the user actually
@@ -148,6 +201,7 @@ impl UserDigitalTwin {
             *p /= norm;
         }
         self.preference_updated = Some(at);
+        self.preference_rev += 1;
     }
 
     /// Latest SNR sample, dB.
@@ -421,6 +475,43 @@ mod tests {
     fn set_preference_validates_length() {
         let mut twin = UserDigitalTwin::new(UserId(1));
         twin.set_preference(SimTime::ZERO, vec![0.5, 0.5]);
+    }
+
+    #[test]
+    fn revisions_bump_only_on_accepted_mutations() {
+        let mut twin = UserDigitalTwin::new(UserId(9));
+        let r0 = twin.revision();
+        assert_eq!(
+            (r0.channel, r0.location, r0.watch, r0.preference),
+            (0, 0, 0, 0)
+        );
+
+        assert!(!twin.update_channel(SimTime::ZERO, f64::NAN));
+        assert_eq!(twin.revision(), r0, "rejected sample leaves key unchanged");
+        assert!(twin.update_channel(SimTime::ZERO, 12.0));
+        assert_eq!(twin.revision().channel, 1);
+
+        assert!(!twin.update_location(SimTime::ZERO, Position::new(f64::NAN, 1.0)));
+        assert_eq!(twin.revision().location, 0);
+        assert!(twin.update_location(SimTime::ZERO, Position::new(1.0, 2.0)));
+        assert_eq!(twin.revision().location, 1);
+
+        twin.record_watch(SimTime::ZERO, watch(VideoCategory::Music, 10, 20));
+        assert_eq!(twin.revision().watch, 1);
+
+        // Early-returning preference refresh (no watches consumed yet in a
+        // fresh twin) must not bump.
+        let mut empty = UserDigitalTwin::new(UserId(10));
+        empty.refresh_preference_from_watches(SimTime::ZERO, 0.5);
+        assert_eq!(empty.revision().preference, 0);
+        twin.refresh_preference_from_watches(SimTime::ZERO, 0.5);
+        assert_eq!(twin.revision().preference, 1);
+        twin.set_preference(SimTime::ZERO, vec![0.125; VideoCategory::COUNT]);
+        assert_eq!(twin.revision().preference, 2);
+
+        // Clones carry the key; a fresh twin for the same user differs
+        // once instances are stamped (store-level concern).
+        assert_eq!(twin.clone().revision(), twin.revision());
     }
 }
 

@@ -6,6 +6,7 @@
 //!          [--faults PROFILE] [--csv PATH] [--journal PATH] [--trace PATH]
 //! msvs report <journal.jsonl>
 //! msvs bench-report [--seed S] [--users N] [--intervals N] [--threads N] [--out PATH]
+//! msvs bench-compare <baseline.json> <candidate.json>
 //! msvs swiping [--users N] [--seed S]
 //! msvs reserve [--headroom F] [--users N] [--seed S]
 //! msvs help
@@ -30,6 +31,7 @@ fn main() -> ExitCode {
         "run" => cmd_run(&args[1..]),
         "report" => cmd_report(&args[1..]),
         "bench-report" => cmd_bench_report(&args[1..]),
+        "bench-compare" => cmd_bench_compare(&args[1..]),
         "swiping" => cmd_swiping(&args[1..]),
         "reserve" => cmd_reserve(&args[1..]),
         "help" | "--help" | "-h" => {
@@ -58,6 +60,8 @@ fn print_help() {
          \x20 msvs report  <journal.jsonl>             summarise a run's journal\n\
          \x20 msvs bench-report [--seed S] [--users N] [--intervals N] [--threads N]\n\
          \x20              [--out PATH]                perf baseline as JSON\n\
+         \x20 msvs bench-compare <baseline.json> <candidate.json>\n\
+         \x20                                          stage-latency delta table\n\
          \x20 msvs swiping [--users N] [--seed S]      print a group's swipe curves\n\
          \x20 msvs reserve [--headroom F] [--users N] [--seed S]\n\
          \x20 msvs help\n\
@@ -251,7 +255,7 @@ fn cmd_bench_report(args: &[String]) -> Result<(), String> {
         intervals: flags.parse("--intervals", defaults.intervals)?,
         threads: flags.parse("--threads", defaults.threads)?,
     };
-    let out = flags.value("--out").unwrap_or("BENCH_4.json");
+    let out = flags.value("--out").unwrap_or("BENCH_5.json");
     let doc = run_bench(&opts).map_err(|e| e.to_string())?;
     validate_bench_json(&doc)?;
     std::fs::write(out, format!("{doc}\n")).map_err(|e| e.to_string())?;
@@ -275,6 +279,66 @@ fn cmd_bench_report(args: &[String]) -> Result<(), String> {
             .and_then(msvs::telemetry::Json::as_f64)
             .unwrap_or(0.0),
     );
+    Ok(())
+}
+
+/// `msvs bench-compare <baseline> <candidate>`: print a stage-latency
+/// delta table between two `msvs-bench/v1` documents. Informational —
+/// always exits 0 on well-formed inputs; regressions are for humans (or
+/// CI log readers) to judge, since shared runners are too noisy to gate
+/// on.
+fn cmd_bench_compare(args: &[String]) -> Result<(), String> {
+    let (base_path, cand_path) = match args {
+        [a, b] => (a.as_str(), b.as_str()),
+        _ => return Err("usage: msvs bench-compare <baseline.json> <candidate.json>".into()),
+    };
+    let load = |path: &str| -> Result<msvs::telemetry::Json, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        let doc = msvs::telemetry::Json::parse(&text)
+            .map_err(|e| format!("{path}: invalid JSON: {e}"))?;
+        validate_bench_json(&doc).map_err(|e| format!("{path}: {e}"))?;
+        Ok(doc)
+    };
+    let (base, cand) = (load(base_path)?, load(cand_path)?);
+    let stage_p50s = |doc: &msvs::telemetry::Json| -> BTreeMap<String, f64> {
+        match doc.get("stages") {
+            Some(msvs::telemetry::Json::Obj(map)) => map
+                .iter()
+                .filter_map(|(name, s)| {
+                    s.get("p50_ms")
+                        .and_then(msvs::telemetry::Json::as_f64)
+                        .map(|p| (name.clone(), p))
+                })
+                .collect(),
+            _ => BTreeMap::new(),
+        }
+    };
+    let (base_stages, cand_stages) = (stage_p50s(&base), stage_p50s(&cand));
+    println!("stage latency p50 (ms): {base_path} -> {cand_path}");
+    println!(
+        "{:<22} {:>12} {:>12} {:>9}",
+        "stage", "baseline", "candidate", "delta"
+    );
+    let names: std::collections::BTreeSet<_> =
+        base_stages.keys().chain(cand_stages.keys()).collect();
+    for name in names {
+        let (b, c) = (base_stages.get(name), cand_stages.get(name));
+        let delta = match (b, c) {
+            (Some(b), Some(c)) if *b > 0.0 => format!("{:+.1}%", (c - b) / b * 100.0),
+            _ => "n/a".to_string(),
+        };
+        let fmt = |v: Option<&f64>| v.map_or("-".to_string(), |v| format!("{v:.4}"));
+        println!("{:<22} {:>12} {:>12} {:>9}", name, fmt(b), fmt(c), delta);
+    }
+    for key in ["throughput_user_intervals_per_s", "peak_rss_kb"] {
+        let (b, c) = (
+            base.get(key).and_then(msvs::telemetry::Json::as_f64),
+            cand.get(key).and_then(msvs::telemetry::Json::as_f64),
+        );
+        if let (Some(b), Some(c)) = (b, c) {
+            println!("{key}: {b:.1} -> {c:.1}");
+        }
+    }
     Ok(())
 }
 

@@ -147,8 +147,8 @@ fn bench_document_from_a_tiny_run_is_schema_valid() {
 
 #[test]
 fn committed_bench_baseline_is_schema_valid() {
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/results/BENCH_4.json");
-    let text = std::fs::read_to_string(path).expect("results/BENCH_4.json is committed");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/results/BENCH_5.json");
+    let text = std::fs::read_to_string(path).expect("results/BENCH_5.json is committed");
     let doc = Json::parse(&text).expect("baseline parses");
     validate_bench_json(&doc).expect("committed baseline is schema-valid");
 }
