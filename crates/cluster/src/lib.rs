@@ -29,4 +29,6 @@ pub mod metrics;
 
 pub use baselines::{elbow_k, random_assignments, silhouette_scan_k};
 pub use kmeanspp::{KMeans, KMeansConfig, KMeansResult, RoundTiming};
-pub use metrics::{adjusted_rand_index, davies_bouldin, inertia, rand_index, silhouette};
+pub use metrics::{
+    adjusted_rand_index, davies_bouldin, inertia, rand_index, silhouette, silhouette_sampled,
+};

@@ -59,6 +59,43 @@ pub fn silhouette(points: &[Vec<f64>], assignments: &[usize]) -> f64 {
     total / n as f64
 }
 
+/// [`silhouette`] with a deterministic evaluation budget for large
+/// populations: when `points.len() > cap` (and `cap > 0`), the score is
+/// computed over a subsample of `cap` points drawn by a partial
+/// Fisher–Yates shuffle from a fixed-seed RNG — turning the O(n²) scan
+/// into O(cap²). (A plain index stride would alias with any ordering
+/// whose cluster label is periodic in the index.) Below the cap, or with
+/// `cap == 0`, this is exactly [`silhouette`]: small populations pay
+/// nothing and change nothing.
+///
+/// The subsample is a pure function of `(n, cap)` — independent of
+/// caller seeds, threads, and shard layout — so seeded pipelines stay
+/// bit-identical at any thread or shard count.
+///
+/// # Panics
+/// Panics if `assignments.len() != points.len()`.
+pub fn silhouette_sampled(points: &[Vec<f64>], assignments: &[usize], cap: usize) -> f64 {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    assert_eq!(points.len(), assignments.len(), "one assignment per point");
+    let n = points.len();
+    if cap == 0 || n <= cap {
+        return silhouette(points, assignments);
+    }
+    let mut rng = StdRng::seed_from_u64(0x51_1C0E77 ^ n as u64);
+    let mut idx: Vec<usize> = (0..n).collect();
+    for j in 0..cap {
+        let r = rng.gen_range(j..n);
+        idx.swap(j, r);
+    }
+    idx.truncate(cap);
+    let (sub_points, sub_assignments): (Vec<Vec<f64>>, Vec<usize>) = idx
+        .into_iter()
+        .map(|i| (points[i].clone(), assignments[i]))
+        .unzip();
+    silhouette(&sub_points, &sub_assignments)
+}
+
 /// Davies–Bouldin index (lower is better; 0 is ideal).
 ///
 /// Returns `f64::INFINITY` when any two centroids coincide, and 0.0 when
@@ -352,5 +389,43 @@ mod rand_index_tests {
     #[should_panic(expected = "same items")]
     fn length_mismatch_panics() {
         let _ = rand_index(&[0, 1], &[0]);
+    }
+
+    /// Two well-separated interleaved blobs: the sampled score must agree
+    /// with the exact one on the subsample it strides out.
+    fn blobs(n: usize) -> (Vec<Vec<f64>>, Vec<usize>) {
+        let points: Vec<Vec<f64>> = (0..n)
+            .map(|i| {
+                let c = (i % 2) as f64 * 10.0;
+                vec![c + (i as f64 * 0.37).sin() * 0.5, c]
+            })
+            .collect();
+        let assignments = (0..n).map(|i| i % 2).collect();
+        (points, assignments)
+    }
+
+    #[test]
+    fn sampled_silhouette_is_exact_below_the_cap() {
+        let (points, assignments) = blobs(60);
+        let exact = silhouette(&points, &assignments);
+        assert_eq!(silhouette_sampled(&points, &assignments, 60), exact);
+        assert_eq!(silhouette_sampled(&points, &assignments, 1000), exact);
+        // cap == 0 disables sampling entirely.
+        assert_eq!(silhouette_sampled(&points, &assignments, 0), exact);
+    }
+
+    #[test]
+    fn sampled_silhouette_strides_large_populations_deterministically() {
+        let (points, assignments) = blobs(900);
+        let sampled = silhouette_sampled(&points, &assignments, 128);
+        // Deterministic: the subsample is a pure function of (n, cap).
+        assert_eq!(sampled, silhouette_sampled(&points, &assignments, 128));
+        // Well-separated blobs score near 1 with or without sampling.
+        assert!(sampled > 0.8, "sampled score {sampled}");
+        let exact = silhouette(&points, &assignments);
+        assert!(
+            (sampled - exact).abs() < 0.05,
+            "sampled {sampled} vs exact {exact}"
+        );
     }
 }

@@ -27,10 +27,52 @@ use msvs_udt::{TwinRevision, UserDigitalTwin};
 
 /// One cached encoding: the twin revision it was computed from and the
 /// resulting feature vector (embedding ++ weighted preference).
-#[derive(Debug, Clone)]
-struct Entry {
-    revision: TwinRevision,
-    features: Vec<f64>,
+///
+/// Public so cross-shard handover can carry a user's encoding between
+/// per-shard caches without re-running the CNN.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CachedEmbedding {
+    /// Twin revision the features were computed from.
+    pub revision: TwinRevision,
+    /// The cached feature vector (embedding ++ weighted preference).
+    pub features: Vec<f64>,
+}
+
+/// Where the compressor's per-user encodings live between passes.
+///
+/// The default backend is a single in-process [`EmbeddingCache`];
+/// multi-shard deployments install a backend that routes each twin to its
+/// owning shard's cache. Any backend yields bit-identical feature
+/// matrices (a cached row equals a fresh encode); only the hit/miss
+/// split — and hence the `cnn_cache_*` counters — may differ.
+pub trait EmbeddingBackend: std::fmt::Debug + Send {
+    /// Splits a population snapshot into hits and misses for compressor
+    /// `generation` (see [`EmbeddingCache::plan`]).
+    fn plan(&mut self, generation: u64, twins: &[UserDigitalTwin]) -> CachePlan;
+
+    /// Stores fresh encodings for `plan`'s misses and returns the full
+    /// feature matrix in snapshot order (see [`EmbeddingCache::complete`]).
+    fn complete(
+        &mut self,
+        twins: &[UserDigitalTwin],
+        plan: &CachePlan,
+        fresh: Vec<Vec<f64>>,
+    ) -> Vec<Vec<f64>>;
+}
+
+impl EmbeddingBackend for EmbeddingCache {
+    fn plan(&mut self, generation: u64, twins: &[UserDigitalTwin]) -> CachePlan {
+        EmbeddingCache::plan(self, generation, twins)
+    }
+
+    fn complete(
+        &mut self,
+        twins: &[UserDigitalTwin],
+        plan: &CachePlan,
+        fresh: Vec<Vec<f64>>,
+    ) -> Vec<Vec<f64>> {
+        EmbeddingCache::complete(self, twins, plan, fresh)
+    }
 }
 
 /// The lookup result for one population snapshot: which twins must be
@@ -50,7 +92,7 @@ pub struct CachePlan {
 pub struct EmbeddingCache {
     /// Compressor generation (trained-epoch count) the entries belong to.
     generation: u64,
-    entries: HashMap<UserId, Entry>,
+    entries: HashMap<UserId, CachedEmbedding>,
 }
 
 impl EmbeddingCache {
@@ -69,15 +111,64 @@ impl EmbeddingCache {
         self.entries.is_empty()
     }
 
+    /// Compressor generation the current entries belong to (`0` before
+    /// the first [`plan`](Self::plan)).
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Removes and returns `user`'s cached encoding — the export half of
+    /// cross-shard handover.
+    pub fn take(&mut self, user: UserId) -> Option<CachedEmbedding> {
+        self.entries.remove(&user)
+    }
+
+    /// Aligns the cache with compressor `generation`, dropping every
+    /// entry on a mismatch (a retrained compressor invalidates all
+    /// cached encodings).
+    pub fn sync_generation(&mut self, generation: u64) {
+        if generation != self.generation {
+            self.entries.clear();
+            self.generation = generation;
+        }
+    }
+
+    /// The cached encoding for `user`, if any (no staleness check — the
+    /// caller compares revisions).
+    pub fn lookup(&self, user: UserId) -> Option<&CachedEmbedding> {
+        self.entries.get(&user)
+    }
+
+    /// Drops every entry whose user is not in `live` (departed-user
+    /// pruning for sharded backends, where each shard sees only its own
+    /// slice of the population).
+    pub fn retain_users(&mut self, live: &HashSet<UserId>) {
+        self.entries.retain(|user, _| live.contains(user));
+    }
+
+    /// Installs a migrated encoding computed at compressor `generation`.
+    ///
+    /// The entry is adopted only when the generations agree (an empty
+    /// cache adopts the incoming generation); a stale-generation entry is
+    /// discarded — the user simply re-encodes on the next pass, which is
+    /// always correct. Returns whether the entry was installed.
+    pub fn put(&mut self, generation: u64, user: UserId, entry: CachedEmbedding) -> bool {
+        if self.entries.is_empty() {
+            self.generation = generation;
+        }
+        if self.generation != generation {
+            return false;
+        }
+        self.entries.insert(user, entry);
+        true
+    }
+
     /// Splits a population snapshot into hits and misses for compressor
     /// `generation`. A generation mismatch (the compressor was retrained)
     /// drops every entry first, so stale-generation features can never be
     /// served.
     pub fn plan(&mut self, generation: u64, twins: &[UserDigitalTwin]) -> CachePlan {
-        if generation != self.generation {
-            self.entries.clear();
-            self.generation = generation;
-        }
+        self.sync_generation(generation);
         let miss_indices: Vec<usize> = twins
             .iter()
             .enumerate()
@@ -113,7 +204,7 @@ impl EmbeddingCache {
         for (&i, features) in plan.miss_indices.iter().zip(fresh) {
             self.entries.insert(
                 twins[i].user(),
-                Entry {
+                CachedEmbedding {
                     revision: twins[i].revision(),
                     features,
                 },
@@ -198,6 +289,44 @@ mod tests {
         assert_eq!(plan.hits, 1);
         cache.complete(&keep, &plan, Vec::new());
         assert_eq!(cache.len(), 1, "absent users pruned");
+    }
+
+    #[test]
+    fn take_and_put_migrate_entries_between_caches() {
+        let mut origin = EmbeddingCache::new();
+        let mut dest = EmbeddingCache::new();
+        let twins = vec![twin(0), twin(1)];
+        let plan = origin.plan(7, &twins);
+        origin.complete(&twins, &plan, rows(2));
+        let entry = origin.take(UserId(1)).expect("cached entry");
+        assert_eq!(origin.len(), 1);
+        assert!(origin.take(UserId(1)).is_none(), "take removes");
+        // Empty destination adopts the origin generation.
+        assert!(dest.put(7, UserId(1), entry));
+        assert_eq!(dest.generation(), 7);
+        // The migrated entry is a hit: planning the moved twin at the
+        // same generation re-encodes nothing.
+        let moved = vec![twins[1].clone()];
+        let plan = dest.plan(7, &moved);
+        assert_eq!(plan.hits, 1, "migrated entry must keep hitting");
+        assert_eq!(
+            dest.complete(&moved, &plan, Vec::new()),
+            vec![rows(2)[1].clone()]
+        );
+    }
+
+    #[test]
+    fn put_discards_stale_generation_entries() {
+        let mut dest = EmbeddingCache::new();
+        let twins = vec![twin(0)];
+        let plan = dest.plan(3, &twins);
+        dest.complete(&twins, &plan, rows(1));
+        let stale = CachedEmbedding {
+            revision: twin(5).revision(),
+            features: vec![1.0],
+        };
+        assert!(!dest.put(9, UserId(5), stale), "generation mismatch");
+        assert_eq!(dest.len(), 1);
     }
 
     #[test]

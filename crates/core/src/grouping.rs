@@ -10,7 +10,7 @@
 //! decision) and picks `K`. The reward trades clustering quality
 //! (silhouette) against the signalling/channel overhead of more groups.
 
-use msvs_cluster::{silhouette, KMeans, KMeansConfig};
+use msvs_cluster::{silhouette_sampled, KMeans, KMeansConfig};
 use msvs_rl::{DdqnAgent, DdqnConfig, EpsilonSchedule, Transition};
 use msvs_types::{Error, Result};
 
@@ -19,6 +19,29 @@ const HIST_BINS: usize = 16;
 
 /// Population-size normaliser for the state (users / this, clamped to 1).
 const POP_NORM: f64 = 400.0;
+
+/// Maps a flat index `t` into the `i < j` pair sequence (row-major: (0,1),
+/// (0,2), …, (0,n-1), (1,2), …) back to `(i, j)`, in O(1): row `i` starts
+/// at flat index `i·n − i·(i+1)/2`, so `i` comes from the quadratic root
+/// (float guess, then exact integer adjustment) and `j` from the offset
+/// within the row.
+///
+/// # Panics
+/// Debug-asserts `t` addresses a valid pair (`t < n·(n−1)/2`).
+fn pair_from_flat(t: usize, n: usize) -> (usize, usize) {
+    debug_assert!(t < n * (n - 1) / 2, "flat index {t} out of range for n={n}");
+    let row_start = |i: usize| i * n - i * (i + 1) / 2;
+    let nf = n as f64 - 0.5;
+    let guess = (nf - (nf * nf - 2.0 * t as f64).max(0.0).sqrt()).floor();
+    let mut i = (guess.max(0.0) as usize).min(n - 2);
+    while i + 2 < n && row_start(i + 1) <= t {
+        i += 1;
+    }
+    while i > 0 && row_start(i) > t {
+        i -= 1;
+    }
+    (i, i + 1 + (t - row_start(i)))
+}
 
 /// How the group count is chosen (the DDQN scheme or a baseline).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -66,6 +89,12 @@ pub struct GroupingConfig {
     /// `0` = all available cores). Assignment results are identical at any
     /// thread count.
     pub threads: usize,
+    /// Silhouette evaluation budget: populations larger than this score an
+    /// evenly strided subsample (deterministic, no RNG) instead of the full
+    /// O(n²) scan. `0` disables sampling. Populations at or below the cap
+    /// — every committed experiment and test — are bit-identical either
+    /// way; the cap only makes 100k-user benches tractable.
+    pub silhouette_sample_cap: usize,
 }
 
 impl Default for GroupingConfig {
@@ -82,6 +111,7 @@ impl Default for GroupingConfig {
             dueling: false,
             seed: 0,
             threads: 1,
+            silhouette_sample_cap: 4096,
         }
     }
 }
@@ -206,29 +236,32 @@ impl GroupingEngine {
         self.calls
     }
 
-    /// DDQN state: normalised pairwise-distance histogram + population size
-    /// + previous `K` + previous reward.
+    /// DDQN state: normalised pairwise-distance histogram + population
+    /// size + previous `K` + previous reward. Pair sampling is
+    /// O(samples), not O(n²): see [`pair_from_flat`].
     pub fn state_of(&self, features: &[Vec<f64>]) -> Vec<f32> {
         let mut state = vec![0f32; HIST_BINS + 3];
         let n = features.len();
         if n >= 2 {
             // Sample up to ~2000 pairs to bound cost on large populations.
+            // Jump straight to the sampled flat pair indices — walking the
+            // full i<j loop to skip-count them is itself O(n²) and was the
+            // wall-time ceiling at 100k users. The indices (and therefore
+            // the state bits) are identical to the skip-counting loop's.
             let mut dists = Vec::new();
-            let stride = ((n * (n - 1) / 2) / 2000).max(1);
-            let mut pair = 0usize;
-            for i in 0..n {
-                for j in (i + 1)..n {
-                    if pair.is_multiple_of(stride) {
-                        let d: f64 = features[i]
-                            .iter()
-                            .zip(&features[j])
-                            .map(|(a, b)| (a - b) * (a - b))
-                            .sum::<f64>()
-                            .sqrt();
-                        dists.push(d);
-                    }
-                    pair += 1;
-                }
+            let total_pairs = n * (n - 1) / 2;
+            let stride = (total_pairs / 2000).max(1);
+            let mut t = 0usize;
+            while t < total_pairs {
+                let (i, j) = pair_from_flat(t, n);
+                let d: f64 = features[i]
+                    .iter()
+                    .zip(&features[j])
+                    .map(|(a, b)| (a - b) * (a - b))
+                    .sum::<f64>()
+                    .sqrt();
+                dists.push(d);
+                t += stride;
             }
             let max = dists.iter().copied().fold(f64::MIN_POSITIVE, f64::max);
             for &d in &dists {
@@ -420,7 +453,11 @@ impl GroupingEngine {
             .telemetry
             .as_ref()
             .map(|t| t.stage_scope(msvs_telemetry::stages::SILHOUETTE));
-        let sil = silhouette(features, &fit.assignments);
+        let sil = silhouette_sampled(
+            features,
+            &fit.assignments,
+            self.config.silhouette_sample_cap,
+        );
         drop(sil_scope);
         Ok(Grouping {
             k,
@@ -436,6 +473,45 @@ mod tests {
     use super::*;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
+
+    #[test]
+    fn pair_from_flat_matches_the_row_major_enumeration() {
+        for n in 2..=60usize {
+            let mut t = 0;
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    assert_eq!(pair_from_flat(t, n), (i, j), "t={t} n={n}");
+                    t += 1;
+                }
+            }
+        }
+    }
+
+    /// The O(samples) jump sampling must reproduce the retired
+    /// skip-counting loop bit for bit — same pairs, same order.
+    #[test]
+    fn state_sampling_matches_the_skip_counting_reference() {
+        let features = blobs(3, 70, 9); // n = 210 > 2000 pairs → stride > 1
+        let n = features.len();
+        let stride = ((n * (n - 1) / 2) / 2000).max(1);
+        assert!(stride > 1, "population large enough to engage sampling");
+        let mut reference = Vec::new();
+        let mut pair = 0usize;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if pair.is_multiple_of(stride) {
+                    reference.push((i, j));
+                }
+                pair += 1;
+            }
+        }
+        let total_pairs = n * (n - 1) / 2;
+        let sampled: Vec<(usize, usize)> = (0..total_pairs)
+            .step_by(stride)
+            .map(|t| pair_from_flat(t, n))
+            .collect();
+        assert_eq!(sampled, reference);
+    }
 
     /// `k` well-separated blobs in 4-D.
     fn blobs(k: usize, per: usize, seed: u64) -> Vec<Vec<f64>> {

@@ -36,7 +36,7 @@ pub mod scheme;
 pub mod swiping;
 
 pub use baselines::HistoricalMeanPredictor;
-pub use cache::{CachePlan, EmbeddingCache};
+pub use cache::{CachePlan, CachedEmbedding, EmbeddingBackend, EmbeddingCache};
 pub use compressor::{CnnCompressor, CompressorConfig};
 pub use demand::{
     choose_group_level, predict_group_demand, DemandConfig, GroupDemandPrediction, MemberState,

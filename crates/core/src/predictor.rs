@@ -9,7 +9,7 @@
 use msvs_channel::Link;
 use msvs_edge::{TranscodeModel, VideoCache};
 use msvs_types::{CpuCycles, ResourceBlocks, Result, SimTime};
-use msvs_udt::UdtStore;
+use msvs_udt::TwinView;
 use msvs_video::Catalog;
 
 use crate::baselines::HistoricalMeanPredictor;
@@ -18,8 +18,10 @@ use crate::scheme::{DtAssistedPredictor, PredictionOutcome};
 /// Everything a predictor may consult when forecasting the next
 /// reservation interval. Borrowed from the simulator each pass.
 pub struct PredictionContext<'a> {
-    /// The user digital twin store (channel, location, watch histories).
-    pub store: &'a UdtStore,
+    /// The user digital twin population (channel, location, watch
+    /// histories) — a single [`msvs_udt::UdtStore`] or a merged view over
+    /// several per-BS shards.
+    pub store: &'a dyn TwinView,
     /// The video catalog.
     pub catalog: &'a Catalog,
     /// The edge video cache (hit/miss state drives transcode demand).
@@ -90,9 +92,14 @@ pub trait DemandPredictor: Send {
     ///
     /// # Errors
     /// Propagates training errors.
-    fn pretrain(&mut self, _store: &UdtStore, _rounds: usize) -> Result<()> {
+    fn pretrain(&mut self, _store: &dyn TwinView, _rounds: usize) -> Result<()> {
         Ok(())
     }
+
+    /// Installs an embedding-cache backend (sharded deployments route
+    /// each twin's cached encoding to its owning shard). Default: no-op —
+    /// scalar predictors run no compressor.
+    fn set_embedding_backend(&mut self, _backend: Box<dyn crate::cache::EmbeddingBackend>) {}
 }
 
 impl DemandPredictor for DtAssistedPredictor {
@@ -153,8 +160,12 @@ impl DemandPredictor for DtAssistedPredictor {
         self.observe_fallback(radio, computing);
     }
 
-    fn pretrain(&mut self, store: &UdtStore, rounds: usize) -> Result<()> {
+    fn pretrain(&mut self, store: &dyn TwinView, rounds: usize) -> Result<()> {
         self.pretrain_grouping(store, rounds)
+    }
+
+    fn set_embedding_backend(&mut self, backend: Box<dyn crate::cache::EmbeddingBackend>) {
+        DtAssistedPredictor::set_embedding_backend(self, backend);
     }
 }
 
@@ -236,8 +247,12 @@ impl<P: DemandPredictor> DemandPredictor for PipelineBacked<P> {
         self.scored.observe_actual(radio, computing);
     }
 
-    fn pretrain(&mut self, store: &UdtStore, rounds: usize) -> Result<()> {
+    fn pretrain(&mut self, store: &dyn TwinView, rounds: usize) -> Result<()> {
         self.pipeline.pretrain_grouping(store, rounds)
+    }
+
+    fn set_embedding_backend(&mut self, backend: Box<dyn crate::cache::EmbeddingBackend>) {
+        self.pipeline.set_embedding_backend(backend);
     }
 }
 

@@ -3,10 +3,10 @@
 use msvs_channel::Link;
 use msvs_edge::{TranscodeModel, VideoCache};
 use msvs_types::{CpuCycles, Error, GroupId, ResourceBlocks, Result, UserId};
-use msvs_udt::{UdtStore, UserDigitalTwin};
+use msvs_udt::{TwinView, UserDigitalTwin};
 use msvs_video::Catalog;
 
-use crate::cache::EmbeddingCache;
+use crate::cache::{EmbeddingBackend, EmbeddingCache};
 use crate::compressor::{CnnCompressor, CompressorConfig};
 use crate::demand::{predict_group_demand, DemandConfig, GroupDemandPrediction};
 use crate::grouping::{Grouping, GroupingConfig, GroupingEngine};
@@ -243,7 +243,7 @@ impl PredictionOutcome {
 pub struct DtAssistedPredictor {
     config: SchemeConfig,
     compressor: CnnCompressor,
-    cache: EmbeddingCache,
+    cache: Box<dyn EmbeddingBackend>,
     engine: GroupingEngine,
     pool: msvs_par::Pool,
     fallback: crate::baselines::HistoricalMeanPredictor,
@@ -275,7 +275,7 @@ impl DtAssistedPredictor {
         Ok(Self {
             config,
             compressor,
-            cache: EmbeddingCache::new(),
+            cache: Box::new(EmbeddingCache::new()),
             engine,
             pool,
             fallback,
@@ -329,6 +329,21 @@ impl DtAssistedPredictor {
     /// thawing the frozen compressor.
     pub fn invalidate_compressor(&mut self) {
         self.compressor.thaw();
+    }
+
+    /// Replaces the embedding-cache backend. Multi-shard deployments
+    /// install a sharded backend here so each per-BS shard owns its slice
+    /// of the cache and handover can migrate entries between shards.
+    /// Features are bit-identical for any backend (cached rows equal
+    /// fresh encodes); only the hit/miss split may differ.
+    pub fn set_embedding_backend(&mut self, backend: Box<dyn EmbeddingBackend>) {
+        self.cache = backend;
+    }
+
+    /// The compressor generation (trained-epoch count) cache entries are
+    /// keyed by — what a sharded backend's `put` must match.
+    pub fn cache_generation(&self) -> u64 {
+        self.compressor.trained_epochs() as u64
     }
 
     /// One twin's feature window per the configured compressor geometry.
@@ -408,7 +423,7 @@ impl DtAssistedPredictor {
     ///
     /// # Errors
     /// Propagates feature-extraction and clustering errors.
-    pub fn pretrain_grouping(&mut self, store: &UdtStore, rounds: usize) -> Result<()> {
+    pub fn pretrain_grouping(&mut self, store: &dyn TwinView, rounds: usize) -> Result<()> {
         let twins = store.snapshot();
         if twins.len() < self.config.grouping.k_min {
             return Err(Error::insufficient(format!(
@@ -459,7 +474,7 @@ impl DtAssistedPredictor {
     /// minimum group count, and propagates pipeline errors.
     pub fn predict(
         &mut self,
-        store: &UdtStore,
+        store: &dyn TwinView,
         catalog: &Catalog,
         cache: &VideoCache,
         transcode: &TranscodeModel,
@@ -571,7 +586,7 @@ mod tests {
     use super::*;
     use msvs_channel::LinkConfig;
     use msvs_types::{Position, RepresentationLevel, SimDuration, SimTime, VideoCategory, VideoId};
-    use msvs_udt::WatchRecord;
+    use msvs_udt::{UdtStore, WatchRecord};
     use msvs_video::CatalogConfig;
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};

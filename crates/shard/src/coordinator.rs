@@ -1,0 +1,607 @@
+//! The shard set: routed twin writes, merged snapshots, and the serial
+//! cross-shard handover sweep.
+
+use std::collections::{BTreeSet, HashMap};
+use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+use msvs_core::GroupDemandPrediction;
+use msvs_par::Pool;
+use msvs_telemetry::{stages, Telemetry};
+use msvs_types::{Error, Position, RepresentationLevel, Result, SimDuration, SimTime, UserId};
+use msvs_udt::{SyncTracker, TwinView, UserDigitalTwin, WatchRecord};
+use msvs_video::Video;
+
+use crate::aggregate::{ReservationAggregator, ShardDemandRow, ShardSummary};
+use crate::embedding::ShardedEmbeddingBackend;
+use crate::router::ShardRouter;
+use crate::shard::Shard;
+
+/// One user's handover-relevant state, borrowed from the simulation for
+/// the duration of a [`ShardCoordinator::rebalance`] sweep.
+#[derive(Debug)]
+pub struct HandoverUser<'a> {
+    /// The user.
+    pub user: UserId,
+    /// The user's uplink sync state; migrated (verbatim) with the twin
+    /// when the user changes shards.
+    pub tracker: &'a mut SyncTracker,
+}
+
+/// What one rebalance sweep did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HandoverStats {
+    /// Twins migrated between shards.
+    pub moved: usize,
+    /// Migrations whose mid-flight report was lost: the cached embedding
+    /// was dropped (degrading that user to a re-encode), the twin and
+    /// tracker still arrived intact.
+    pub embeddings_dropped: usize,
+}
+
+/// Runs the per-interval stages across a set of per-BS [`Shard`]s and
+/// presents them to the rest of the pipeline as one population.
+///
+/// Write paths mirror the [`msvs_udt::UdtStore`] API (routed through the
+/// ownership map, so the parallel collection sweep works unchanged);
+/// read paths implement [`TwinView`] by merging per-shard snapshots on
+/// the worker pool into the canonical user-sorted order the predictor
+/// consumes. With one shard the coordinator is a transparent facade over
+/// a single store — same instance nonces, no shard telemetry — so the
+/// legacy single-cell deployment is reproduced bit for bit.
+#[derive(Debug)]
+pub struct ShardCoordinator {
+    shards: Vec<Shard>,
+    router: ShardRouter,
+    owner: Arc<RwLock<HashMap<UserId, usize>>>,
+    aggregator: ReservationAggregator,
+    pool: Pool,
+    telemetry: Option<Telemetry>,
+    handovers_total: u64,
+    embeddings_dropped_total: u64,
+    peak_imbalance: f64,
+}
+
+impl ShardCoordinator {
+    /// Builds the shard set `router` maps into, each shard with a
+    /// `video_cache_mb_per_shard` local cache tier.
+    pub fn new(router: ShardRouter, pool: Pool, video_cache_mb_per_shard: f64) -> Self {
+        let n = router.n_shards();
+        Self {
+            shards: (0..n)
+                .map(|i| Shard::new(i, video_cache_mb_per_shard))
+                .collect(),
+            router,
+            owner: Arc::new(RwLock::new(HashMap::new())),
+            aggregator: ReservationAggregator::new(n),
+            pool,
+            telemetry: None,
+            handovers_total: 0,
+            embeddings_dropped_total: 0,
+            peak_imbalance: 1.0,
+        }
+    }
+
+    /// Wires the shard plane into an observability pipeline. Stages and
+    /// counters are only emitted when more than one shard runs, so a
+    /// one-shard deployment's telemetry is identical to the unsharded
+    /// path.
+    pub fn attach_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = Some(telemetry);
+    }
+
+    /// Number of shards.
+    pub fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Whether the deployment is actually partitioned (shard telemetry
+    /// and the handover sweep only run when it is).
+    pub fn sharded(&self) -> bool {
+        self.shards.len() > 1
+    }
+
+    /// The shards themselves (read-only).
+    pub fn shards(&self) -> &[Shard] {
+        &self.shards
+    }
+
+    /// The router mapping positions to shards.
+    pub fn router(&self) -> &ShardRouter {
+        &self.router
+    }
+
+    fn owner_read(&self) -> RwLockReadGuard<'_, HashMap<UserId, usize>> {
+        self.owner.read().expect("owner map lock poisoned")
+    }
+
+    fn owner_write(&self) -> RwLockWriteGuard<'_, HashMap<UserId, usize>> {
+        self.owner.write().expect("owner map lock poisoned")
+    }
+
+    /// The shard currently owning `user`, if registered.
+    pub fn owner_of(&self, user: UserId) -> Option<usize> {
+        self.owner_read().get(&user).copied()
+    }
+
+    /// Registers (or replaces, on a churned slot) a twin, routed by the
+    /// user's position. A replaced slot's old twin and cached embedding
+    /// are evicted from whichever shard held them first, so a churned
+    /// `UserId` can never exist in two shards at once.
+    pub fn insert(&mut self, twin: UserDigitalTwin, pos: Position) {
+        let user = twin.user();
+        if let Some(prev) = self.owner_of(user) {
+            self.shards[prev].store().remove(user);
+            self.shards[prev].evict_embedding(user);
+        }
+        let shard = self.router.shard_of(pos);
+        self.shards[shard].store().insert(twin);
+        self.owner_write().insert(user, shard);
+    }
+
+    /// Removes a twin, returning it if present.
+    pub fn remove(&mut self, user: UserId) -> Option<UserDigitalTwin> {
+        let shard = self.owner_write().remove(&user)?;
+        self.shards[shard].evict_embedding(user);
+        self.shards[shard].store().remove(user)
+    }
+
+    /// Whether a twin exists for `user`.
+    pub fn contains(&self, user: UserId) -> bool {
+        self.owner_of(user)
+            .is_some_and(|s| self.shards[s].store().contains(user))
+    }
+
+    /// All registered user ids (sorted for determinism).
+    pub fn user_ids(&self) -> Vec<UserId> {
+        let mut ids: Vec<UserId> = self.owner_read().keys().copied().collect();
+        ids.sort();
+        ids
+    }
+
+    fn routed<T>(&self, user: UserId, f: impl FnOnce(&Shard) -> Result<T>) -> Result<T> {
+        match self.owner_of(user) {
+            Some(s) => f(&self.shards[s]),
+            None => Err(Error::not_found("user twin", user)),
+        }
+    }
+
+    /// Runs `f` with shared access to a twin (see
+    /// [`msvs_udt::UdtStore::with_twin`]).
+    ///
+    /// # Errors
+    /// Returns [`Error::NotFound`] for an unregistered user.
+    pub fn with_twin<T>(&self, user: UserId, f: impl FnOnce(&UserDigitalTwin) -> T) -> Result<T> {
+        self.routed(user, |s| s.store().with_twin(user, f))
+    }
+
+    /// Runs `f` with exclusive access to a twin.
+    ///
+    /// # Errors
+    /// Returns [`Error::NotFound`] for an unregistered user.
+    pub fn with_twin_mut<T>(
+        &self,
+        user: UserId,
+        f: impl FnOnce(&mut UserDigitalTwin) -> T,
+    ) -> Result<T> {
+        self.routed(user, |s| s.store().with_twin_mut(user, f))
+    }
+
+    /// Records a channel sample (see [`msvs_udt::UdtStore::update_channel`]).
+    ///
+    /// # Errors
+    /// Returns [`Error::NotFound`] for an unregistered user.
+    pub fn update_channel(&self, user: UserId, at: SimTime, snr_db: f64) -> Result<bool> {
+        self.routed(user, |s| s.store().update_channel(user, at, snr_db))
+    }
+
+    /// Records a location sample.
+    ///
+    /// # Errors
+    /// Returns [`Error::NotFound`] for an unregistered user.
+    pub fn update_location(&self, user: UserId, at: SimTime, position: Position) -> Result<bool> {
+        self.routed(user, |s| s.store().update_location(user, at, position))
+    }
+
+    /// Records a watch record.
+    ///
+    /// # Errors
+    /// Returns [`Error::NotFound`] for an unregistered user.
+    pub fn record_watch(&self, user: UserId, at: SimTime, record: WatchRecord) -> Result<()> {
+        self.routed(user, |s| s.store().record_watch(user, at, record))
+    }
+
+    /// Total twins across every shard.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(Shard::len).sum()
+    }
+
+    /// Whether no shard holds any twin.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Fresh-twin coverage pooled across shards — integer counts are
+    /// summed before dividing, so the fraction is bit-identical to one
+    /// store holding the same twins.
+    pub fn fresh_fraction(&self, now: SimTime, horizon: SimDuration) -> f64 {
+        let (fresh, total) = self.shards.iter().fold((0usize, 0usize), |(f, t), shard| {
+            let (sf, st) = shard.store().fresh_count(now, horizon);
+            (f + sf, t + st)
+        });
+        if total == 0 {
+            0.0
+        } else {
+            fresh as f64 / total as f64
+        }
+    }
+
+    /// The canonical population view: per-shard snapshots taken on the
+    /// worker pool, merged into user-sorted order — identical to the
+    /// snapshot of one store holding every twin. Emits a `shard_gather`
+    /// stage with one child span per shard when sharded.
+    pub fn snapshot(&self) -> Vec<UserDigitalTwin> {
+        if !self.sharded() {
+            return self.shards[0].store().snapshot();
+        }
+        let scope = self
+            .telemetry
+            .as_ref()
+            .map(|t| t.stage_scope(stages::SHARD_GATHER));
+        let (parts, stats) = self
+            .pool
+            .map_stats(&self.shards, |_, shard| shard.store().snapshot());
+        if let (Some(t), Some(_scope)) = (&self.telemetry, scope.as_ref()) {
+            for (i, part) in parts.iter().enumerate() {
+                let mut span = t.span(stages::SHARD_SLICE);
+                span.set_batch(i as u64);
+                let _ = part;
+                span.end();
+            }
+            t.gauge("par_threads", stages::SHARD_GATHER)
+                .set(stats.threads as f64);
+            t.gauge("par_utilisation", stages::SHARD_GATHER)
+                .set(stats.utilisation());
+        }
+        let mut twins: Vec<UserDigitalTwin> = parts.into_iter().flatten().collect();
+        twins.sort_by_key(|t| t.user());
+        twins
+    }
+
+    /// Re-evaluates ownership for every user (in the given order — the
+    /// caller passes its deterministic user vector) and migrates twins
+    /// whose reported position crossed a cell boundary. `lost` is the
+    /// fault plane's verdict on the mid-handover report: a lost report
+    /// degrades that user's cached embedding (dropped, re-encoded next
+    /// pass) but the twin and tracker always arrive — a handover never
+    /// duplicates or drops a twin.
+    ///
+    /// Serial by design: migrations mutate two shards and the ownership
+    /// map, and the sweep must be bit-identical at any thread count.
+    pub fn rebalance(
+        &mut self,
+        users: &mut [HandoverUser<'_>],
+        mut lost: impl FnMut(UserId) -> bool,
+    ) -> HandoverStats {
+        let mut stats = HandoverStats::default();
+        if !self.sharded() {
+            return stats;
+        }
+        let before = self.len();
+        let scope = self
+            .telemetry
+            .as_ref()
+            .map(|t| t.stage_scope(stages::SHARD_REBALANCE));
+        let mut per_shard_in = vec![0u64; self.shards.len()];
+        for hu in users.iter_mut() {
+            let user = hu.user;
+            let Some(from) = self.owner_of(user) else {
+                continue;
+            };
+            let Some(pos) = self.shards[from]
+                .store()
+                .with_twin(user, |t| t.latest_position())
+                .ok()
+                .flatten()
+            else {
+                continue; // no reported position yet — stays put
+            };
+            let to = self.router.shard_of(pos);
+            if to == from {
+                continue;
+            }
+            let tracker = std::mem::take(hu.tracker);
+            let export = self.shards[from]
+                .export(user, tracker)
+                .expect("owner map said this shard holds the twin");
+            let lost_report = lost(user);
+            *hu.tracker = self.shards[to].import(export, !lost_report);
+            self.owner_write().insert(user, to);
+            per_shard_in[to] += 1;
+            stats.moved += 1;
+            if lost_report {
+                stats.embeddings_dropped += 1;
+            }
+        }
+        debug_assert_eq!(self.len(), before, "handover must conserve twins");
+        self.handovers_total += stats.moved as u64;
+        self.embeddings_dropped_total += stats.embeddings_dropped as u64;
+        let imbalance = self.imbalance();
+        self.peak_imbalance = self.peak_imbalance.max(imbalance);
+        if let (Some(t), Some(_scope)) = (&self.telemetry, scope.as_ref()) {
+            for (i, &arrivals) in per_shard_in.iter().enumerate() {
+                let mut span = t.span(stages::SHARD_SLICE);
+                span.set_batch(i as u64);
+                let _ = arrivals;
+                span.end();
+            }
+            t.counter("handovers_total", "all").add(stats.moved as u64);
+            t.counter("handover_embeddings_dropped_total", "all")
+                .add(stats.embeddings_dropped as u64);
+            t.gauge("shard_imbalance", "all").set(imbalance);
+        }
+        stats
+    }
+
+    /// Current load factor: the largest shard population over the ideal
+    /// (uniform) population. `1.0` means perfectly balanced; an empty
+    /// deployment reports `1.0`.
+    pub fn imbalance(&self) -> f64 {
+        let total = self.len();
+        if total == 0 {
+            return 1.0;
+        }
+        let max = self.shards.iter().map(Shard::len).max().unwrap_or(0);
+        let ideal = total as f64 / self.shards.len() as f64;
+        max as f64 / ideal
+    }
+
+    /// Folds one interval's per-group demand predictions into the global
+    /// reservation aggregator's per-shard rows (no-op unsharded).
+    pub fn fold_demand(&mut self, groups: &[GroupDemandPrediction]) {
+        if !self.sharded() {
+            return;
+        }
+        let _scope = self
+            .telemetry
+            .as_ref()
+            .map(|t| t.stage_scope(stages::SHARD_AGGREGATE));
+        let owner = self.owner.read().expect("owner map lock poisoned");
+        self.aggregator.fold(groups, &owner);
+    }
+
+    /// Records one multicast group playback against the local video
+    /// cache tier of every shard with a member in the group — each
+    /// shard's BS fetches the stream once (no-op unsharded).
+    pub fn record_group_playback(
+        &mut self,
+        members: &[UserId],
+        video: &Video,
+        level: RepresentationLevel,
+    ) {
+        if !self.sharded() {
+            return;
+        }
+        let shards: BTreeSet<usize> = {
+            let owner = self.owner_read();
+            members
+                .iter()
+                .filter_map(|u| owner.get(u).copied())
+                .collect()
+        };
+        for s in shards {
+            self.shards[s].record_playback(video, level);
+        }
+    }
+
+    /// A predictor backend over the per-shard embedding caches, sharing
+    /// the cache slices and ownership map with this coordinator.
+    pub fn embedding_backend(&self) -> ShardedEmbeddingBackend {
+        ShardedEmbeddingBackend::new(
+            self.shards.iter().map(Shard::embeddings).collect(),
+            Arc::clone(&self.owner),
+        )
+    }
+
+    /// Cumulative handovers across the run.
+    pub fn handovers_total(&self) -> u64 {
+        self.handovers_total
+    }
+
+    /// End-of-run shard-plane summary for the simulation report.
+    pub fn summary(&self) -> ShardSummary {
+        ShardSummary {
+            shards: self.shards.len(),
+            handovers_total: self.handovers_total,
+            embeddings_dropped_total: self.embeddings_dropped_total,
+            peak_imbalance: self.peak_imbalance,
+            demand: self
+                .shards
+                .iter()
+                .enumerate()
+                .map(|(i, s)| {
+                    let (hits, misses) = s.video_cache().stats();
+                    ShardDemandRow {
+                        shard: i,
+                        users: s.len(),
+                        radio: self.aggregator.radio()[i],
+                        computing: self.aggregator.computing()[i],
+                        video_cache_hits: hits,
+                        video_cache_misses: misses,
+                    }
+                })
+                .collect(),
+        }
+    }
+}
+
+impl TwinView for ShardCoordinator {
+    fn len(&self) -> usize {
+        ShardCoordinator::len(self)
+    }
+
+    fn fresh_fraction(&self, now: SimTime, horizon: SimDuration) -> f64 {
+        ShardCoordinator::fresh_fraction(self, now, horizon)
+    }
+
+    fn snapshot(&self) -> Vec<UserDigitalTwin> {
+        ShardCoordinator::snapshot(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid() -> Vec<Position> {
+        vec![
+            Position::new(0.0, 0.0),
+            Position::new(100.0, 0.0),
+            Position::new(0.0, 100.0),
+            Position::new(100.0, 100.0),
+        ]
+    }
+
+    fn coordinator(n_shards: usize) -> ShardCoordinator {
+        ShardCoordinator::new(ShardRouter::new(grid(), n_shards), Pool::serial(), 10_000.0)
+    }
+
+    fn insert_at(c: &mut ShardCoordinator, id: u32, x: f64, y: f64) {
+        let twin = UserDigitalTwin::new(UserId(id));
+        c.insert(twin, Position::new(x, y));
+        c.update_location(UserId(id), SimTime::ZERO, Position::new(x, y))
+            .unwrap();
+    }
+
+    #[test]
+    fn routes_writes_to_the_owning_shard() {
+        let mut c = coordinator(2);
+        insert_at(&mut c, 0, 1.0, 1.0); // bs 0 -> shard 0
+        insert_at(&mut c, 1, 99.0, 1.0); // bs 1 -> shard 1
+        assert_eq!(c.owner_of(UserId(0)), Some(0));
+        assert_eq!(c.owner_of(UserId(1)), Some(1));
+        assert_eq!(c.len(), 2);
+        assert!(c.contains(UserId(0)));
+        c.update_channel(UserId(0), SimTime::ZERO, 8.0).unwrap();
+        assert_eq!(
+            c.with_twin(UserId(0), |t| t.latest_snr_db()).unwrap(),
+            Some(8.0)
+        );
+        assert!(c.update_channel(UserId(9), SimTime::ZERO, 1.0).is_err());
+        assert_eq!(c.shards()[0].len(), 1);
+        assert_eq!(c.shards()[1].len(), 1);
+    }
+
+    #[test]
+    fn merged_snapshot_is_user_sorted_across_shards() {
+        let mut c = coordinator(4);
+        insert_at(&mut c, 7, 99.0, 99.0);
+        insert_at(&mut c, 1, 1.0, 1.0);
+        insert_at(&mut c, 3, 99.0, 1.0);
+        let snap = TwinView::snapshot(&c);
+        let ids: Vec<u32> = snap.iter().map(|t| t.user().into()).collect();
+        assert_eq!(ids, vec![1, 3, 7]);
+    }
+
+    #[test]
+    fn rebalance_moves_boundary_crossers_and_conserves_twins() {
+        let mut c = coordinator(2);
+        insert_at(&mut c, 0, 1.0, 1.0);
+        insert_at(&mut c, 1, 99.0, 1.0);
+        // User 0 reports a position in BS 1's cell.
+        c.update_location(UserId(0), SimTime::from_secs(5), Position::new(98.0, 2.0))
+            .unwrap();
+        let mut t0 = SyncTracker::default();
+        let mut t1 = SyncTracker::default();
+        let mut users = vec![
+            HandoverUser {
+                user: UserId(0),
+                tracker: &mut t0,
+            },
+            HandoverUser {
+                user: UserId(1),
+                tracker: &mut t1,
+            },
+        ];
+        let stats = c.rebalance(&mut users, |_| false);
+        assert_eq!(stats.moved, 1);
+        assert_eq!(stats.embeddings_dropped, 0);
+        assert_eq!(c.owner_of(UserId(0)), Some(1));
+        assert_eq!(c.len(), 2, "handover conserves twins");
+        assert_eq!(c.handovers_total(), 1);
+        // Idempotent: nobody crosses on the second sweep.
+        let stats = c.rebalance(&mut users, |_| false);
+        assert_eq!(stats.moved, 0);
+    }
+
+    #[test]
+    fn lost_handover_report_degrades_but_never_drops_a_twin() {
+        let mut c = coordinator(2);
+        insert_at(&mut c, 0, 1.0, 1.0);
+        c.update_location(UserId(0), SimTime::from_secs(5), Position::new(98.0, 2.0))
+            .unwrap();
+        let mut t0 = SyncTracker::default();
+        let mut users = vec![HandoverUser {
+            user: UserId(0),
+            tracker: &mut t0,
+        }];
+        let stats = c.rebalance(&mut users, |_| true);
+        assert_eq!(stats.moved, 1);
+        assert_eq!(stats.embeddings_dropped, 1);
+        assert_eq!(c.len(), 1, "twin arrived despite the lost report");
+        assert!(c.contains(UserId(0)));
+    }
+
+    #[test]
+    fn churned_slot_cannot_exist_in_two_shards() {
+        let mut c = coordinator(2);
+        insert_at(&mut c, 0, 1.0, 1.0);
+        // Churn: same id, new user spawning in the other cell.
+        let twin = UserDigitalTwin::new(UserId(0));
+        c.insert(twin, Position::new(99.0, 1.0));
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.owner_of(UserId(0)), Some(1));
+        assert!(c.shards()[0].store().is_empty());
+    }
+
+    #[test]
+    fn single_shard_is_a_transparent_facade() {
+        let mut c = coordinator(1);
+        insert_at(&mut c, 0, 1.0, 1.0);
+        insert_at(&mut c, 1, 99.0, 99.0);
+        assert!(!c.sharded());
+        let mut trackers = [SyncTracker::default(), SyncTracker::default()];
+        let [ref mut tr0, ref mut tr1] = trackers;
+        let mut users = vec![
+            HandoverUser {
+                user: UserId(0),
+                tracker: tr0,
+            },
+            HandoverUser {
+                user: UserId(1),
+                tracker: tr1,
+            },
+        ];
+        assert_eq!(c.rebalance(&mut users, |_| true), HandoverStats::default());
+        // Legacy nonce sequence: 1, 2, ...
+        assert_eq!(
+            c.with_twin(UserId(0), |t| t.revision().instance).unwrap(),
+            1
+        );
+        assert_eq!(
+            c.with_twin(UserId(1), |t| t.revision().instance).unwrap(),
+            2
+        );
+    }
+
+    #[test]
+    fn imbalance_tracks_the_largest_shard() {
+        let mut c = coordinator(2);
+        assert_eq!(c.imbalance(), 1.0);
+        insert_at(&mut c, 0, 1.0, 1.0);
+        insert_at(&mut c, 1, 2.0, 1.0);
+        insert_at(&mut c, 2, 1.0, 2.0);
+        insert_at(&mut c, 3, 99.0, 1.0);
+        // 3 vs 1 users on 2 shards: max 3 over ideal 2.
+        assert!((c.imbalance() - 1.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,114 @@
+//! Deterministic position-based user→shard routing.
+
+use msvs_types::Position;
+
+/// Maps positions to shards through the nearest base station.
+///
+/// Base station `b` belongs to shard `b % n_shards`, so any number of
+/// shards from one up to the BS count yields a total, deterministic
+/// mapping — and one shard reproduces the paper's single-edge-server
+/// deployment exactly.
+#[derive(Debug, Clone)]
+pub struct ShardRouter {
+    bs_positions: Vec<Position>,
+    n_shards: usize,
+}
+
+impl ShardRouter {
+    /// Builds a router over `bs_positions` for `n_shards` shards.
+    ///
+    /// # Panics
+    /// Panics when there are no base stations or no shards — a
+    /// deployment without either cannot route anyone.
+    pub fn new(bs_positions: Vec<Position>, n_shards: usize) -> Self {
+        assert!(
+            !bs_positions.is_empty(),
+            "router needs at least one base station"
+        );
+        assert!(n_shards >= 1, "router needs at least one shard");
+        Self {
+            bs_positions,
+            n_shards,
+        }
+    }
+
+    /// Number of shards routed to.
+    pub fn n_shards(&self) -> usize {
+        self.n_shards
+    }
+
+    /// The base stations the router maps through.
+    pub fn bs_positions(&self) -> &[Position] {
+        &self.bs_positions
+    }
+
+    /// Index of the base station nearest to `pos`.
+    ///
+    /// `total_cmp` sorts NaN above every finite distance, so a corrupted
+    /// position degrades to an arbitrary-but-deterministic choice
+    /// instead of a panic.
+    pub fn nearest_bs(&self, pos: Position) -> usize {
+        self.bs_positions
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| pos.distance_sq(**a).total_cmp(&pos.distance_sq(**b)))
+            .map(|(i, _)| i)
+            .expect("router holds at least one BS")
+    }
+
+    /// The shard that owns base station `bs`.
+    pub fn shard_of_bs(&self, bs: usize) -> usize {
+        bs % self.n_shards
+    }
+
+    /// The shard that owns a user at `pos`.
+    pub fn shard_of(&self, pos: Position) -> usize {
+        self.shard_of_bs(self.nearest_bs(pos))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid() -> Vec<Position> {
+        vec![
+            Position::new(0.0, 0.0),
+            Position::new(100.0, 0.0),
+            Position::new(0.0, 100.0),
+            Position::new(100.0, 100.0),
+        ]
+    }
+
+    #[test]
+    fn routes_to_nearest_bs_modulo_shards() {
+        let router = ShardRouter::new(grid(), 2);
+        assert_eq!(router.nearest_bs(Position::new(1.0, 2.0)), 0);
+        assert_eq!(router.nearest_bs(Position::new(99.0, 98.0)), 3);
+        assert_eq!(router.shard_of(Position::new(1.0, 2.0)), 0);
+        assert_eq!(router.shard_of(Position::new(99.0, 98.0)), 1);
+        assert_eq!(router.shard_of(Position::new(99.0, 1.0)), 1);
+        assert_eq!(router.shard_of(Position::new(1.0, 99.0)), 0);
+    }
+
+    #[test]
+    fn single_shard_owns_everything() {
+        let router = ShardRouter::new(grid(), 1);
+        for pos in [Position::new(3.0, 4.0), Position::new(90.0, 90.0)] {
+            assert_eq!(router.shard_of(pos), 0);
+        }
+    }
+
+    #[test]
+    fn corrupted_position_routes_deterministically() {
+        let router = ShardRouter::new(grid(), 4);
+        let nan = Position::new(f64::NAN, 5.0);
+        assert_eq!(router.shard_of(nan), router.shard_of(nan));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one base station")]
+    fn empty_bs_set_panics() {
+        ShardRouter::new(Vec::new(), 1);
+    }
+}

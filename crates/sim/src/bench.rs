@@ -29,6 +29,8 @@ pub struct BenchOptions {
     pub intervals: usize,
     /// Worker threads (`0` = all cores).
     pub threads: usize,
+    /// Base-station shards (`1` = the legacy single-cell path).
+    pub shards: usize,
 }
 
 impl Default for BenchOptions {
@@ -38,6 +40,7 @@ impl Default for BenchOptions {
             users: 120,
             intervals: 6,
             threads: 0,
+            shards: 1,
         }
     }
 }
@@ -68,6 +71,7 @@ impl BenchOptions {
             .interval(SimDuration::from_mins(2))
             .scheme(scheme)
             .threads(self.threads)
+            .shards(self.shards)
             .seed(self.seed)
             .build()
     }
@@ -117,6 +121,39 @@ pub fn run_bench(opts: &BenchOptions) -> Result<Json> {
     } else {
         0.0
     };
+    // Sharded runs record the shard plane alongside the stage table:
+    // handover totals, load imbalance, and one demand-attribution row per
+    // shard (the per-BS view operators provision from).
+    let shard_plane = if sim.store().sharded() {
+        let s = sim.store().summary();
+        let mut rows = std::collections::BTreeMap::new();
+        for row in &s.demand {
+            rows.insert(
+                format!("shard_{}", row.shard),
+                Json::obj([
+                    ("users", Json::Num(row.users as f64)),
+                    ("radio_rb", Json::Num(row.radio)),
+                    ("computing_cycles", Json::Num(row.computing)),
+                    ("video_cache_hits", Json::Num(row.video_cache_hits as f64)),
+                    (
+                        "video_cache_misses",
+                        Json::Num(row.video_cache_misses as f64),
+                    ),
+                ]),
+            );
+        }
+        Json::obj([
+            ("handovers_total", Json::Num(s.handovers_total as f64)),
+            (
+                "embeddings_dropped_total",
+                Json::Num(s.embeddings_dropped_total as f64),
+            ),
+            ("peak_imbalance", Json::Num(s.peak_imbalance)),
+            ("demand", Json::Obj(rows)),
+        ])
+    } else {
+        Json::Null
+    };
 
     Ok(Json::obj([
         ("schema", Json::Str(BENCH_SCHEMA.into())),
@@ -124,6 +161,8 @@ pub fn run_bench(opts: &BenchOptions) -> Result<Json> {
         ("users", Json::Num(opts.users as f64)),
         ("intervals", Json::Num(intervals_run as f64)),
         ("threads", Json::Num(threads as f64)),
+        ("shards", Json::Num(sim.store().n_shards() as f64)),
+        ("shard_plane", shard_plane),
         ("spans", Json::Num(sim.telemetry().spans().len() as f64)),
         ("wall_s", Json::Num(wall_s)),
         ("throughput_user_intervals_per_s", Json::Num(throughput)),
@@ -219,6 +258,7 @@ mod tests {
             users: 24,
             intervals: 1,
             threads: 1,
+            shards: 1,
         })
         .unwrap();
         validate_bench_json(&doc).unwrap();

@@ -21,6 +21,20 @@ fn default_threads() -> usize {
         .unwrap_or(0)
 }
 
+/// Environment variable that overrides the default shard count (`1` =
+/// the legacy single-cell deployment). Lets CI exercise the multi-BS
+/// sharded path across the whole test suite without touching each test's
+/// config.
+pub const SHARDS_ENV: &str = "MSVS_SHARDS";
+
+fn default_shards() -> usize {
+    std::env::var(SHARDS_ENV)
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(1)
+}
+
 /// Population shares of the three mobility models.
 ///
 /// Shares are relative weights (normalised internally); a campus mixes
@@ -182,6 +196,13 @@ pub struct SimulationConfig {
     /// cores. Defaults to the `MSVS_THREADS` environment variable, or `0`.
     /// Seeded runs produce bit-identical reports at any thread count.
     pub threads: usize,
+    /// Base-station shards the deployment partitions into (`1` = the
+    /// legacy single-cell path). Each shard owns its own twin registry,
+    /// embedding-cache slice and local video-cache tier; users handover
+    /// between shards as mobility crosses cell boundaries. Defaults to
+    /// the `MSVS_SHARDS` environment variable, or `1`. Seeded runs
+    /// produce bit-identical reports at any shard count.
+    pub shards: usize,
     /// Master RNG seed.
     pub seed: u64,
 }
@@ -218,6 +239,7 @@ impl Default for SimulationConfig {
             },
             faults: None,
             threads: default_threads(),
+            shards: default_shards(),
             seed: 0,
         }
     }
@@ -284,6 +306,15 @@ impl SimulationConfig {
                 "threads",
                 "must be at most 1024 (0 = all available cores)",
             ));
+        }
+        if self.shards == 0 {
+            return Err(Error::invalid_config(
+                "shards",
+                "need at least one shard (1 = single-cell deployment)",
+            ));
+        }
+        if self.shards > 1024 {
+            return Err(Error::invalid_config("shards", "must be at most 1024"));
         }
         Ok(())
     }
@@ -357,6 +388,12 @@ impl SimulationConfigBuilder {
     /// Worker threads (`1` = serial, `0` = all available cores).
     pub fn threads(mut self, threads: usize) -> Self {
         self.config.threads = threads;
+        self
+    }
+
+    /// Base-station shards (`1` = single-cell deployment).
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.config.shards = shards;
         self
     }
 
@@ -488,6 +525,8 @@ mod tests {
             .build()
             .is_err());
         assert!(SimulationConfig::builder().threads(4096).build().is_err());
+        assert!(SimulationConfig::builder().shards(0).build().is_err());
+        assert!(SimulationConfig::builder().shards(4096).build().is_err());
         assert!(SimulationConfig::builder()
             .predictor(DemandPredictorKind::HistoricalMean { alpha: 0.0 })
             .build()

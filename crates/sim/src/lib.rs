@@ -30,7 +30,8 @@ pub mod runner;
 
 pub use bench::{peak_rss_kb, run_bench, validate_bench_json, BenchOptions, BENCH_SCHEMA};
 pub use config::{
-    DemandPredictorKind, MobilityMix, SimulationConfig, SimulationConfigBuilder, THREADS_ENV,
+    DemandPredictorKind, MobilityMix, SimulationConfig, SimulationConfigBuilder, SHARDS_ENV,
+    THREADS_ENV,
 };
 pub use metrics::{IntervalRecord, SimulationReport};
 pub use report::{format_table, to_csv};

@@ -67,6 +67,10 @@ pub struct SimulationReport {
     /// Stage-latency percentiles and event counters collected by
     /// `msvs-telemetry` over the whole run (warm-up included).
     pub telemetry: msvs_telemetry::TelemetrySummary,
+    /// Shard-plane summary (per-BS demand rows, handover totals) when the
+    /// run partitioned into more than one shard; `None` on the legacy
+    /// single-shard path.
+    pub shards: Option<msvs_shard::ShardSummary>,
 }
 
 impl SimulationReport {

@@ -7,13 +7,12 @@ use msvs_edge::EdgeServer;
 use msvs_faults::{Attribute, DelayQueue, FaultCounts, FaultInjector, FaultPlan, ReportFate};
 use msvs_mobility::{CampusMap, MobilityModel, RandomWaypoint};
 use msvs_par::Pool;
+use msvs_shard::{HandoverUser, ShardCoordinator, ShardRouter};
 use msvs_telemetry::{stage, Event, Telemetry};
 use msvs_types::{
     CpuCycles, Error, Position, ResourceBlocks, Result, SimDuration, SimTime, UserId,
 };
-use msvs_udt::{
-    CollectionPolicy, RetryPolicy, SyncTracker, UdtStore, UserDigitalTwin, WatchRecord,
-};
+use msvs_udt::{CollectionPolicy, RetryPolicy, SyncTracker, UserDigitalTwin, WatchRecord};
 use msvs_video::{Catalog, UserProfile};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -114,7 +113,7 @@ pub struct Simulation {
     catalog: Catalog,
     link: Link,
     edge: EdgeServer,
-    store: UdtStore,
+    store: ShardCoordinator,
     predictor: Box<dyn DemandPredictor>,
     pool: Pool,
     now: SimTime,
@@ -186,7 +185,14 @@ impl Simulation {
         let catalog = Catalog::generate(config.catalog)?;
         let mut edge = EdgeServer::new(config.edge, &catalog);
         let link = Link::new(config.link);
-        let store = UdtStore::new();
+        // Each shard owns an equal slice of the edge cache capacity as its
+        // local video-cache tier (a telemetry-only hierarchical-CDN side
+        // channel; the scored edge cache stays global).
+        let mut store = ShardCoordinator::new(
+            ShardRouter::new(bs_positions.clone(), config.shards),
+            pool,
+            config.edge.cache_capacity_mb / config.shards as f64,
+        );
         let mut users = Vec::with_capacity(config.n_users);
         let mut seed_rng = StdRng::seed_from_u64(config.seed);
         for u in 0..config.n_users {
@@ -198,7 +204,7 @@ impl Simulation {
                 config.seed.wrapping_add(1000 + u as u64),
                 &mut seed_rng,
             );
-            store.insert(UserDigitalTwin::new(id));
+            store.insert(UserDigitalTwin::new(id), mobility.position());
             users.push(SimUser {
                 id,
                 profile,
@@ -212,6 +218,13 @@ impl Simulation {
         let telemetry = Telemetry::new();
         predictor.attach_telemetry(telemetry.clone());
         edge.attach_telemetry(telemetry.clone());
+        store.attach_telemetry(telemetry.clone());
+        // Sharded runs route the predictor's embedding cache through the
+        // per-shard slices, so handovers can migrate cached encodings;
+        // single-shard runs keep the predictor's own cache untouched.
+        if store.sharded() {
+            predictor.set_embedding_backend(Box::new(store.embedding_backend()));
+        }
         telemetry.emit(Event::RunStarted {
             scheme: predictor.name().to_string(),
             seed: config.seed,
@@ -271,8 +284,9 @@ impl Simulation {
         self.pool.threads()
     }
 
-    /// The twin store (inspection).
-    pub fn store(&self) -> &UdtStore {
+    /// The sharded twin registry (inspection). With `shards: 1` this is
+    /// a transparent facade over the single legacy store.
+    pub fn store(&self) -> &ShardCoordinator {
         &self.store
     }
 
@@ -309,6 +323,7 @@ impl Simulation {
             report.intervals.push(sim.run_interval(i)?);
         }
         report.telemetry = sim.telemetry.summary();
+        report.shards = sim.store.sharded().then(|| sim.store.summary());
         Ok(report)
     }
 
@@ -324,6 +339,7 @@ impl Simulation {
             // Root span for the warm-up interval; no interval attribute
             // marks it as unscored.
             let _interval_scope = self.telemetry.stage_scope(stage::INTERVAL);
+            self.rebalance_shards();
             self.collect_phase();
             // Full pipeline runs during warm-up too (twins fill with watch
             // records, the CNN trains); the record is discarded.
@@ -354,8 +370,39 @@ impl Simulation {
             .with_interval(index as u64);
         self.apply_churn();
         self.apply_scheduled_faults(index as u64);
+        self.rebalance_shards();
         self.collect_phase();
         self.scored_interval(index)
+    }
+
+    /// Re-evaluates shard ownership from each twin's last reported
+    /// position and migrates boundary crossers (twin, sync tracker and
+    /// cached embedding move as one unit). The fault plane's fate oracle
+    /// decides whether a migration's mid-flight report is lost — a lost
+    /// report degrades the cached embedding to a re-encode, never the
+    /// twin. No-op on single-shard runs.
+    fn rebalance_shards(&mut self) {
+        if !self.store.sharded() {
+            return;
+        }
+        let now_ms = self.now.as_millis();
+        let injector = self.faults.as_ref().map(|rt| &rt.injector);
+        let mut handover: Vec<HandoverUser<'_>> = self
+            .users
+            .iter_mut()
+            .map(|u| HandoverUser {
+                user: u.id,
+                tracker: &mut u.tracker,
+            })
+            .collect();
+        self.store.rebalance(&mut handover, |user| {
+            injector.is_some_and(|i| {
+                matches!(
+                    i.fate(user.0, now_ms, Attribute::Location),
+                    ReportFate::Lose
+                )
+            })
+        });
     }
 
     /// Fires the fault plan's interval-scheduled faults: churn bursts
@@ -419,7 +466,8 @@ impl Simulation {
                 self.config.seed.wrapping_add(0xC0DE_0000 + salt),
                 &mut self.churn_rng,
             );
-            self.store.insert(UserDigitalTwin::new(id));
+            self.store
+                .insert(UserDigitalTwin::new(id), mobility.position());
             self.users[idx] = SimUser {
                 id,
                 profile,
@@ -596,6 +644,12 @@ impl Simulation {
         })?;
         let (predicted_radio, predicted_computing) = (prediction.radio, prediction.computing);
         let degradation = prediction.degradation;
+        if scored {
+            // Attribute the interval's per-group demand to shards by
+            // member ownership (per-BS provisioning rows; no-op when the
+            // deployment is not partitioned).
+            self.store.fold_demand(&outcome.groups);
+        }
         if scored {
             if let Some(d) = degradation {
                 if d.degraded {
@@ -860,6 +914,10 @@ impl Simulation {
                 let remaining = interval_s - t;
                 let vid = recommendation.sample(&mut group_rng);
                 let video = self.catalog.get(vid).expect("recommended from catalog");
+                // Each owning shard's BS pulls the multicast stream once
+                // through its local video-cache tier (telemetry only).
+                self.store
+                    .record_group_playback(&member_ids, video, pred.level);
                 let len_s = video.duration.as_secs_f64();
                 // Members draw their true watch durations.
                 let mut max_watch = 0.0f64;
@@ -952,7 +1010,7 @@ impl Simulation {
 fn faulty_user_tick(
     user: &mut SimUser,
     rt: &FaultRuntime,
-    store: &UdtStore,
+    store: &ShardCoordinator,
     policy: &CollectionPolicy,
     t: SimTime,
     tick: SimDuration,

@@ -33,6 +33,6 @@ pub mod sync;
 pub mod twin;
 
 pub use attribute::{TimeSeries, WatchRecord};
-pub use store::UdtStore;
+pub use store::{TwinView, UdtStore};
 pub use sync::{CollectionPolicy, RetryPolicy, SyncTracker};
 pub use twin::{FeatureWindow, TwinRevision, UserDigitalTwin};

@@ -4,10 +4,45 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::RwLock;
 
-use msvs_types::{Error, Position, Result, SimTime, UserId};
+use msvs_types::{Error, Position, Result, SimDuration, SimTime, UserId};
 
 use crate::attribute::WatchRecord;
 use crate::twin::UserDigitalTwin;
+
+/// Read-only view over a population of twins — what the prediction
+/// pipeline actually consumes. Implemented by [`UdtStore`] (the
+/// single-cell registry) and by multi-shard deployments that merge
+/// several per-BS stores into one canonical population.
+pub trait TwinView: Send + Sync {
+    /// Number of registered twins.
+    fn len(&self) -> usize;
+
+    /// Whether the view holds no twins.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Fraction of twins whose fast attributes are fresh within `horizon`
+    /// of `now` (see [`UdtStore::fresh_fraction`]).
+    fn fresh_fraction(&self, now: SimTime, horizon: SimDuration) -> f64;
+
+    /// Clones every twin out, sorted by user id.
+    fn snapshot(&self) -> Vec<UserDigitalTwin>;
+}
+
+impl TwinView for UdtStore {
+    fn len(&self) -> usize {
+        UdtStore::len(self)
+    }
+
+    fn fresh_fraction(&self, now: SimTime, horizon: SimDuration) -> f64 {
+        UdtStore::fresh_fraction(self, now, horizon)
+    }
+
+    fn snapshot(&self) -> Vec<UserDigitalTwin> {
+        UdtStore::snapshot(self)
+    }
+}
 
 /// Number of lock shards; a small power of two spreads BS collector
 /// contention without bloating the struct.
@@ -30,9 +65,20 @@ pub struct UdtStore {
 impl UdtStore {
     /// Builds an empty store.
     pub fn new() -> Self {
+        Self::with_instance_base(1)
+    }
+
+    /// Builds an empty store whose instance nonces start at `base`.
+    ///
+    /// Multi-shard deployments give each per-BS store a disjoint nonce
+    /// namespace (e.g. the shard id in the high bits) so a twin that
+    /// migrates between stores can never collide with a nonce the
+    /// destination will stamp later. `with_instance_base(1)` is exactly
+    /// [`UdtStore::new`].
+    pub fn with_instance_base(base: u64) -> Self {
         Self {
             shards: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
-            next_instance: AtomicU64::new(1),
+            next_instance: AtomicU64::new(base),
         }
     }
 
@@ -69,6 +115,15 @@ impl UdtStore {
     /// nonce (see [`UserDigitalTwin::revision`]).
     pub fn insert(&self, mut twin: UserDigitalTwin) {
         twin.set_instance(self.next_instance.fetch_add(1, Ordering::Relaxed));
+        Self::write(self.shard(twin.user())).insert(twin.user(), twin);
+    }
+
+    /// Re-registers a migrated twin *without* stamping a new instance
+    /// nonce, preserving its full [`TwinRevision`](crate::TwinRevision) —
+    /// the cross-shard handover primitive. Revision-keyed caches on the
+    /// destination keep hitting because the revision (including the
+    /// origin store's nonce) survives the move intact.
+    pub fn import(&self, twin: UserDigitalTwin) {
         Self::write(self.shard(twin.user())).insert(twin.user(), twin);
     }
 
@@ -154,6 +209,18 @@ impl UdtStore {
     /// empty store. Order-independent (a pure count), so deterministic
     /// regardless of shard iteration order.
     pub fn fresh_fraction(&self, now: SimTime, horizon: msvs_types::SimDuration) -> f64 {
+        let (fresh, total) = self.fresh_count(now, horizon);
+        if total == 0 {
+            0.0
+        } else {
+            fresh as f64 / total as f64
+        }
+    }
+
+    /// `(fresh, total)` twin counts behind [`Self::fresh_fraction`].
+    /// Multi-shard views sum these integer counts so the pooled fraction
+    /// is bit-identical to a single store holding the same twins.
+    pub fn fresh_count(&self, now: SimTime, horizon: msvs_types::SimDuration) -> (usize, usize) {
         let mut fresh = 0usize;
         let mut total = 0usize;
         for shard in &self.shards {
@@ -164,11 +231,7 @@ impl UdtStore {
                 }
             }
         }
-        if total == 0 {
-            0.0
-        } else {
-            fresh as f64 / total as f64
-        }
+        (fresh, total)
     }
 
     /// Clones every twin out (snapshot for offline analysis).
@@ -262,6 +325,42 @@ mod tests {
         let second = store.with_twin(UserId(7), |t| t.revision()).unwrap();
         assert_ne!(first.instance, second.instance);
         assert_eq!(second.channel, 0);
+    }
+
+    #[test]
+    fn import_preserves_the_instance_nonce() {
+        let origin = UdtStore::with_instance_base(1);
+        let dest = UdtStore::with_instance_base(1 << 40);
+        origin.insert(UserDigitalTwin::new(UserId(3)));
+        origin
+            .update_channel(UserId(3), SimTime::from_secs(1), 7.0)
+            .unwrap();
+        let rev = origin.with_twin(UserId(3), |t| t.revision()).unwrap();
+        let twin = origin.remove(UserId(3)).expect("twin present");
+        dest.import(twin);
+        let after = dest.with_twin(UserId(3), |t| t.revision()).unwrap();
+        assert_eq!(rev, after, "migration must not disturb the revision");
+        // A fresh insert on the destination stamps from its own base, so
+        // the migrated nonce can never be reissued there.
+        dest.insert(UserDigitalTwin::new(UserId(9)));
+        let stamped = dest.with_twin(UserId(9), |t| t.revision()).unwrap();
+        assert_eq!(stamped.instance, 1 << 40);
+        assert_ne!(stamped.instance, after.instance);
+    }
+
+    #[test]
+    fn twin_view_matches_inherent_methods() {
+        let store = UdtStore::new();
+        store.insert(UserDigitalTwin::new(UserId(2)));
+        store.insert(UserDigitalTwin::new(UserId(1)));
+        let view: &dyn TwinView = &store;
+        assert_eq!(TwinView::len(view), 2);
+        assert!(!view.is_empty());
+        assert_eq!(view.snapshot().len(), 2);
+        assert_eq!(
+            view.fresh_fraction(SimTime::ZERO, msvs_types::SimDuration::from_secs(5)),
+            store.fresh_fraction(SimTime::ZERO, msvs_types::SimDuration::from_secs(5))
+        );
     }
 
     #[test]

@@ -2,10 +2,11 @@
 //!
 //! ```text
 //! msvs run [--users N] [--intervals N] [--seed S] [--churn F]
-//!          [--per-bs] [--predictor scheme|naive|ewma] [--threads N]
+//!          [--per-bs] [--predictor scheme|naive|ewma] [--threads N] [--shards N]
 //!          [--faults PROFILE] [--csv PATH] [--journal PATH] [--trace PATH]
 //! msvs report <journal.jsonl>
-//! msvs bench-report [--seed S] [--users N] [--intervals N] [--threads N] [--out PATH]
+//! msvs bench-report [--seed S] [--users N] [--intervals N] [--threads N]
+//!          [--shards N] [--out PATH]
 //! msvs bench-compare <baseline.json> <candidate.json>
 //! msvs swiping [--users N] [--seed S]
 //! msvs reserve [--headroom F] [--users N] [--seed S]
@@ -56,10 +57,11 @@ fn print_help() {
          USAGE:\n\
          \x20 msvs run     [--users N] [--intervals N] [--seed S] [--churn F]\n\
          \x20              [--per-bs] [--predictor scheme|naive|ewma] [--threads N]\n\
-         \x20              [--faults PROFILE] [--csv PATH] [--journal PATH] [--trace PATH]\n\
+         \x20              [--shards N] [--faults PROFILE] [--csv PATH]\n\
+         \x20              [--journal PATH] [--trace PATH]\n\
          \x20 msvs report  <journal.jsonl>             summarise a run's journal\n\
          \x20 msvs bench-report [--seed S] [--users N] [--intervals N] [--threads N]\n\
-         \x20              [--out PATH]                perf baseline as JSON\n\
+         \x20              [--shards N] [--out PATH]   perf baseline as JSON\n\
          \x20 msvs bench-compare <baseline.json> <candidate.json>\n\
          \x20                                          stage-latency delta table\n\
          \x20 msvs swiping [--users N] [--seed S]      print a group's swipe curves\n\
@@ -71,6 +73,9 @@ fn print_help() {
          `--threads N` sizes the worker pool for the parallel hot paths\n\
          (0 = all cores; default from MSVS_THREADS, else all cores).\n\
          Seeded runs are bit-identical at any thread count.\n\
+         `--shards N` partitions the deployment into per-BS shards with\n\
+         cross-shard twin handover (default from MSVS_SHARDS, else 1).\n\
+         Seeded runs are bit-identical at any shard count.\n\
          `--faults PROFILE` injects uplink faults from a built-in profile\n\
          ({}) or a JSON file (see results/fault_profiles/).\n\
          `--journal` writes the telemetry event journal as JSONL (plus a\n\
@@ -133,6 +138,10 @@ fn base_config(flags: &Flags<'_>) -> Result<SimulationConfig, String> {
     if flags.value("--threads").is_some() {
         builder = builder.threads(flags.parse("--threads", 0usize)?);
     }
+    // Absent flag: keep the default (MSVS_SHARDS env var, or 1).
+    if flags.value("--shards").is_some() {
+        builder = builder.shards(flags.parse("--shards", 1usize)?);
+    }
     builder.build().map_err(|e| e.to_string())
 }
 
@@ -178,7 +187,17 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
             .push(sim.run_interval(i).map_err(|e| e.to_string())?);
     }
     result.telemetry = sim.telemetry().summary();
+    result.shards = sim.store().sharded().then(|| sim.store().summary());
     println!("{}", report::interval_table(&result));
+    if let Some(shards) = &result.shards {
+        println!(
+            "shards: {} | handovers {} | embeddings dropped {} | peak imbalance {:.2}",
+            shards.shards,
+            shards.handovers_total,
+            shards.embeddings_dropped_total,
+            shards.peak_imbalance,
+        );
+    }
     println!(
         "radio accuracy {:.2}% | computing accuracy {:.2}% | saving {:.1}% | waste {:.2}%",
         100.0 * result.mean_radio_accuracy(),
@@ -254,8 +273,9 @@ fn cmd_bench_report(args: &[String]) -> Result<(), String> {
         users: flags.parse("--users", defaults.users)?,
         intervals: flags.parse("--intervals", defaults.intervals)?,
         threads: flags.parse("--threads", defaults.threads)?,
+        shards: flags.parse("--shards", defaults.shards)?,
     };
-    let out = flags.value("--out").unwrap_or("BENCH_5.json");
+    let out = flags.value("--out").unwrap_or("BENCH_6.json");
     let doc = run_bench(&opts).map_err(|e| e.to_string())?;
     validate_bench_json(&doc)?;
     std::fs::write(out, format!("{doc}\n")).map_err(|e| e.to_string())?;
@@ -323,10 +343,7 @@ fn cmd_bench_compare(args: &[String]) -> Result<(), String> {
         base_stages.keys().chain(cand_stages.keys()).collect();
     for name in names {
         let (b, c) = (base_stages.get(name), cand_stages.get(name));
-        let delta = match (b, c) {
-            (Some(b), Some(c)) if *b > 0.0 => format!("{:+.1}%", (c - b) / b * 100.0),
-            _ => "n/a".to_string(),
-        };
+        let delta = stage_delta(b, c);
         let fmt = |v: Option<&f64>| v.map_or("-".to_string(), |v| format!("{v:.4}"));
         println!("{:<22} {:>12} {:>12} {:>9}", name, fmt(b), fmt(c), delta);
     }
@@ -340,6 +357,21 @@ fn cmd_bench_compare(args: &[String]) -> Result<(), String> {
         }
     }
     Ok(())
+}
+
+/// Delta column for one stage row of `bench-compare`. Stage sets may
+/// differ between documents (a sharded candidate adds `shard_*` stages a
+/// single-shard baseline lacks): a stage present only in the candidate is
+/// marked `new`, one present only in the baseline `gone`, so nothing
+/// vanishes silently from the table.
+fn stage_delta(base: Option<&f64>, cand: Option<&f64>) -> String {
+    match (base, cand) {
+        (Some(b), Some(c)) if *b > 0.0 => format!("{:+.1}%", (c - b) / b * 100.0),
+        (Some(_), Some(_)) => "n/a".to_string(),
+        (None, Some(_)) => "new".to_string(),
+        (Some(_), None) => "gone".to_string(),
+        (None, None) => "n/a".to_string(),
+    }
 }
 
 /// `msvs report <journal.jsonl>`: stage-latency and event summary of a
@@ -595,5 +627,23 @@ mod tests {
         assert_eq!(cfg.threads, 2);
         let raw = args(&["--threads", "many"]);
         assert!(base_config(&Flags::new(&raw).unwrap()).is_err());
+    }
+
+    #[test]
+    fn base_config_accepts_shards_flag() {
+        let raw = args(&["--shards", "4"]);
+        let cfg = base_config(&Flags::new(&raw).unwrap()).unwrap();
+        assert_eq!(cfg.shards, 4);
+        let raw = args(&["--shards", "0"]);
+        assert!(base_config(&Flags::new(&raw).unwrap()).is_err());
+    }
+
+    #[test]
+    fn stage_delta_marks_new_and_gone_stages() {
+        assert_eq!(stage_delta(Some(&2.0), Some(&3.0)), "+50.0%");
+        assert_eq!(stage_delta(Some(&0.0), Some(&3.0)), "n/a");
+        assert_eq!(stage_delta(None, Some(&3.0)), "new");
+        assert_eq!(stage_delta(Some(&2.0), None), "gone");
+        assert_eq!(stage_delta(None, None), "n/a");
     }
 }

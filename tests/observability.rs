@@ -136,6 +136,7 @@ fn bench_document_from_a_tiny_run_is_schema_valid() {
         users: 24,
         intervals: 1,
         threads: 2,
+        shards: 1,
     })
     .expect("bench run");
     validate_bench_json(&doc).expect("schema-valid document");
@@ -146,11 +147,24 @@ fn bench_document_from_a_tiny_run_is_schema_valid() {
 }
 
 #[test]
-fn committed_bench_baseline_is_schema_valid() {
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/results/BENCH_5.json");
-    let text = std::fs::read_to_string(path).expect("results/BENCH_5.json is committed");
-    let doc = Json::parse(&text).expect("baseline parses");
-    validate_bench_json(&doc).expect("committed baseline is schema-valid");
+fn committed_bench_baselines_are_schema_valid() {
+    for name in ["BENCH_5.json", "BENCH_6.json"] {
+        let path = format!("{}/results/{name}", env!("CARGO_MANIFEST_DIR"));
+        let text = std::fs::read_to_string(&path).expect("bench baseline is committed");
+        let doc = Json::parse(&text).expect("baseline parses");
+        validate_bench_json(&doc).unwrap_or_else(|e| panic!("{name} is not schema-valid: {e}"));
+    }
+    // The sharded baseline carries the per-shard demand attribution.
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/results/BENCH_6.json");
+    let doc = Json::parse(&std::fs::read_to_string(path).unwrap()).unwrap();
+    assert_eq!(doc.get("shards").and_then(Json::as_u64), Some(4));
+    assert!(
+        doc.get("shard_plane")
+            .and_then(|p| p.get("demand"))
+            .and_then(|d| d.get("shard_3"))
+            .is_some(),
+        "BENCH_6.json records per-shard demand rows"
+    );
 }
 
 #[test]
