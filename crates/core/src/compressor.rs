@@ -10,7 +10,8 @@
 use std::cell::RefCell;
 
 use msvs_nn::{
-    mse_loss, Adam, Conv1d, Dense, Flatten, Optimizer, Relu, Scratch, Sequential, Tensor,
+    mse_loss, Adam, BackendKind, Conv1d, Dense, Flatten, Optimizer, Relu, Scratch, Sequential,
+    Tensor,
 };
 use msvs_par::{ParStats, Pool};
 use msvs_telemetry::{stages, SpanAttrs, SpanCollector};
@@ -39,6 +40,11 @@ pub struct CompressorConfig {
     pub preference_weight: f64,
     /// RNG seed for weight initialisation.
     pub seed: u64,
+    /// Compute backend for the frozen encode path. Training always runs
+    /// the exact scalar kernels regardless of this setting — only
+    /// [`CnnCompressor::encode`] (and the paths through it) switch, so
+    /// `int8` quantizes nothing the optimiser reads.
+    pub backend: BackendKind,
 }
 
 impl Default for CompressorConfig {
@@ -52,6 +58,7 @@ impl Default for CompressorConfig {
             epochs: 60,
             preference_weight: 2.0,
             seed: 0,
+            backend: BackendKind::Scalar,
         }
     }
 }
@@ -235,7 +242,9 @@ impl CnnCompressor {
         self.check_input(&x)?;
         SCRATCH.with(|cell| {
             let mut scratch = cell.borrow_mut();
-            let (code, shape) = self.encoder.infer_scratch(&x, &mut scratch);
+            let (code, shape) =
+                self.encoder
+                    .infer_scratch(&x, &mut scratch, self.config.backend.handle());
             let embed = shape.dims()[1];
             Ok(windows
                 .iter()

@@ -43,6 +43,7 @@ pub use demand::{
 };
 pub use features::{embedding_features, windows_to_tensor};
 pub use grouping::{Grouping, GroupingConfig, GroupingEngine, GroupingStrategy};
+pub use msvs_nn::BackendKind;
 pub use predictor::{
     DegradationSignal, DemandPredictor, PipelineBacked, Prediction, PredictionContext,
 };

@@ -184,6 +184,32 @@ pub fn dense_infer(
     }
 }
 
+/// Fills `patch[out_len, in_ch * kernel]` with the im2col expansion of
+/// one batch row `x = [in_ch, in_len]`:
+/// `patch[t][ic * kernel + k] = x[ic][t * stride + k]`.
+/// Shared by [`conv1d_infer`] and the quantized conv backend.
+pub(crate) fn im2col_rows(
+    x: &[f32],
+    patch: &mut [f32],
+    in_ch: usize,
+    in_len: usize,
+    kernel: usize,
+    stride: usize,
+    out_len: usize,
+) {
+    let ick = in_ch * kernel;
+    debug_assert_eq!(x.len(), in_ch * in_len);
+    debug_assert_eq!(patch.len(), out_len * ick);
+    for t in 0..out_len {
+        let start = t * stride;
+        let row = &mut patch[t * ick..(t + 1) * ick];
+        for ic in 0..in_ch {
+            let src = &x[ic * in_len + start..ic * in_len + start + kernel];
+            row[ic * kernel..(ic + 1) * kernel].copy_from_slice(src);
+        }
+    }
+}
+
 /// 1-D convolution inference via im2col + row-dot GEMM.
 ///
 /// `input` is `[batch, in_ch, in_len]`, `weight` is
@@ -219,14 +245,7 @@ pub fn conv1d_infer(
     patch.resize(out_len * ick, 0.0);
     for b in 0..batch {
         let x = &input[b * in_ch * in_len..(b + 1) * in_ch * in_len];
-        for t in 0..out_len {
-            let start = t * stride;
-            let row = &mut patch[t * ick..(t + 1) * ick];
-            for ic in 0..in_ch {
-                let src = &x[ic * in_len + start..ic * in_len + start + kernel];
-                row[ic * kernel..(ic + 1) * kernel].copy_from_slice(src);
-            }
-        }
+        im2col_rows(x, patch, in_ch, in_len, kernel, stride, out_len);
         let dst = &mut out[b * out_ch * out_len..(b + 1) * out_ch * out_len];
         for oc in 0..out_ch {
             let w = &weight[oc * ick..(oc + 1) * ick];
@@ -427,15 +446,16 @@ mod tests {
         )
         .unwrap();
         let mut scratch = Scratch::new();
+        let backend = crate::backend::scalar();
         let first: Vec<f32> = {
-            let (data, shape) = net.infer_scratch(&x, &mut scratch);
+            let (data, shape) = net.infer_scratch(&x, &mut scratch, backend);
             assert_eq!(shape.dims(), &[2, 8]);
             data.to_vec()
         };
         let warm = scratch.capacity();
         assert!(warm > 0);
         for _ in 0..10 {
-            let (data, _) = net.infer_scratch(&x, &mut scratch);
+            let (data, _) = net.infer_scratch(&x, &mut scratch, backend);
             assert_eq!(data, &first[..], "steady-state outputs identical");
         }
         assert_eq!(

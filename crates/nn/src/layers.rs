@@ -8,7 +8,8 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use crate::kernels::{self, Shape};
+use crate::backend::{self, ComputeBackend, ConvDims, ConvWeights, DenseWeights, QuantCell};
+use crate::kernels::Shape;
 use crate::tensor::Tensor;
 
 /// A differentiable network layer.
@@ -28,17 +29,20 @@ pub trait Layer: Send + Sync {
     /// Allocation-free inference: reads `input` (flat, row-major, laid
     /// out per `shape`), writes the result into `out`, and returns the
     /// output shape. `patch` is kernel workspace (im2col) owned by the
-    /// caller's [`kernels::Scratch`] arena. Bit-identical to
-    /// [`Layer::infer`]; the default implementation round-trips through
-    /// it for layers without a bespoke kernel.
+    /// caller's [`crate::kernels::Scratch`] arena; `backend` picks the
+    /// kernel implementation (see [`crate::backend`]). With the default
+    /// [`crate::ScalarBackend`] this is bit-identical to [`Layer::infer`];
+    /// the default implementation round-trips through it for layers
+    /// without a bespoke kernel.
     fn infer_into(
         &self,
         input: &[f32],
         shape: Shape,
         out: &mut Vec<f32>,
         patch: &mut Vec<f32>,
+        backend: &dyn ComputeBackend,
     ) -> Shape {
-        let _ = patch;
+        let _ = (patch, backend);
         let x = Tensor::from_vec(input.to_vec(), shape.to_vec()).expect("shape matches input");
         let y = self.infer(&x);
         let out_shape = Shape::from_dims(y.shape());
@@ -82,10 +86,13 @@ fn he_init(rng: &mut StdRng, fan_in: usize, n: usize) -> Vec<f32> {
 /// `[batch, out]`.
 ///
 /// Keeps a cached transpose `weight_t` (`[in, out]`) so inference runs
-/// the cache-blocked GEMM without materialising a transpose per call.
-/// The cache is refreshed at every weight-mutation site — construction
-/// and [`Layer::visit_params`] (the optimiser's only write path; the
-/// fields are private, so nothing else can touch the weights).
+/// the cache-blocked GEMM without materialising a transpose per call,
+/// plus a lazily-populated int8 quantization of that transpose for the
+/// [`crate::QuantizedBackend`]. Both caches are refreshed by the single
+/// [`Dense::refresh_weight_layout`] hook, called from the only two
+/// weight-mutation sites — [`Dense::set_weights`] and
+/// [`Layer::visit_params`] (the optimiser's write path; the fields are
+/// private, so nothing else can touch the weights).
 #[derive(Debug, Clone)]
 pub struct Dense {
     weight: Tensor,   // [out, in]
@@ -93,6 +100,7 @@ pub struct Dense {
     bias: Tensor,     // [out]
     w_grad: Tensor,
     b_grad: Tensor,
+    quant: QuantCell, // int8 view of weight_t, invalidated on weight writes
     input: Option<Tensor>,
 }
 
@@ -114,15 +122,36 @@ impl Dense {
             b_grad: Tensor::zeros(vec![out_dim]),
             bias: Tensor::zeros(vec![out_dim]),
             weight_t: Tensor::zeros(vec![in_dim, out_dim]),
-            weight,
+            weight: Tensor::zeros(vec![out_dim, in_dim]),
+            quant: QuantCell::default(),
             input: None,
         };
-        layer.sync_weight_t();
+        layer.set_weights(weight);
         layer
     }
 
-    /// Rewrites `weight_t` from `weight`, in place (no allocation).
-    fn sync_weight_t(&mut self) {
+    /// Replaces the weight matrix (`[out, in]`) and refreshes every
+    /// derived layout — the single public weight-write entry point, so
+    /// backends can rely on [`Dense::refresh_weight_layout`] running
+    /// after every mutation.
+    ///
+    /// # Panics
+    /// Panics if `weight`'s shape differs from the current `[out, in]`.
+    pub fn set_weights(&mut self, weight: Tensor) {
+        assert_eq!(
+            weight.shape(),
+            self.weight.shape(),
+            "dense weight shape mismatch"
+        );
+        self.weight = weight;
+        self.refresh_weight_layout();
+    }
+
+    /// Re-derives the cached layouts from `weight`: rewrites `weight_t`
+    /// in place (no allocation) and drops the int8 cache so the
+    /// quantized backend re-quantizes on next use. Every weight-mutation
+    /// site funnels through here.
+    fn refresh_weight_layout(&mut self) {
         let (out_dim, in_dim) = (self.weight.shape()[0], self.weight.shape()[1]);
         let w = self.weight.data();
         let wt = self.weight_t.data_mut();
@@ -131,6 +160,7 @@ impl Dense {
                 wt[p * out_dim + o] = w[o * in_dim + p];
             }
         }
+        self.quant.invalidate();
     }
 
     /// Input dimensionality.
@@ -152,16 +182,23 @@ impl Dense {
         );
         let batch = input.shape()[0];
         let mut out = Tensor::zeros(vec![batch, self.out_dim()]);
-        kernels::dense_infer(
+        backend::scalar().dense_infer(
             input.data(),
-            self.weight_t.data(),
-            self.bias.data(),
+            self.weights(),
             out.data_mut(),
             batch,
             self.in_dim(),
             self.out_dim(),
         );
         out
+    }
+
+    fn weights(&self) -> DenseWeights<'_> {
+        DenseWeights {
+            w_t: self.weight_t.data(),
+            bias: self.bias.data(),
+            quant: &self.quant,
+        }
     }
 }
 
@@ -183,16 +220,16 @@ impl Layer for Dense {
         shape: Shape,
         out: &mut Vec<f32>,
         _patch: &mut Vec<f32>,
+        backend: &dyn ComputeBackend,
     ) -> Shape {
         assert_eq!(shape.rank(), 2, "dense expects [batch, features]");
         assert_eq!(shape.dims()[1], self.in_dim(), "dense input width mismatch");
         let batch = shape.dims()[0];
         out.clear();
         out.resize(batch * self.out_dim(), 0.0);
-        kernels::dense_infer(
+        backend.dense_infer(
             input,
-            self.weight_t.data(),
-            self.bias.data(),
+            self.weights(),
             out,
             batch,
             self.in_dim(),
@@ -226,9 +263,9 @@ impl Layer for Dense {
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Tensor, &mut Tensor)) {
         f(&mut self.weight, &mut self.w_grad);
         f(&mut self.bias, &mut self.b_grad);
-        // The visitor may have stepped the weights; keep the cached
-        // transpose coherent.
-        self.sync_weight_t();
+        // The visitor may have stepped the weights in place (so there is
+        // no tensor to hand `set_weights`); run the same refresh hook.
+        self.refresh_weight_layout();
     }
 
     fn clone_box(&self) -> Box<dyn Layer> {
@@ -245,6 +282,7 @@ pub struct Conv1d {
     bias: Tensor,   // [out_ch]
     w_grad: Tensor,
     b_grad: Tensor,
+    quant: QuantCell, // int8 view of weight, invalidated on weight writes
     stride: usize,
     input: Option<Tensor>,
 }
@@ -271,6 +309,7 @@ impl Conv1d {
             b_grad: Tensor::zeros(vec![out_ch]),
             bias: Tensor::zeros(vec![out_ch]),
             weight,
+            quant: QuantCell::default(),
             stride,
             input: None,
         }
@@ -296,6 +335,7 @@ impl Conv1d {
             Shape::from_dims(input.shape()),
             &mut out,
             &mut patch,
+            backend::scalar(),
         );
         Tensor::from_vec(out, shape.to_vec()).expect("kernel output matches shape")
     }
@@ -319,6 +359,7 @@ impl Layer for Conv1d {
         shape: Shape,
         out: &mut Vec<f32>,
         patch: &mut Vec<f32>,
+        backend: &dyn ComputeBackend,
     ) -> Shape {
         assert_eq!(shape.rank(), 3, "conv1d expects [batch, ch, len]");
         let (out_ch, in_ch, kernel) = self.dims();
@@ -330,19 +371,24 @@ impl Layer for Conv1d {
             .unwrap_or_else(|| panic!("input length {in_len} shorter than kernel {kernel}"));
         out.clear();
         out.resize(batch * out_ch * out_len, 0.0);
-        kernels::conv1d_infer(
+        backend.conv1d_infer(
             input,
-            self.weight.data(),
-            self.bias.data(),
+            ConvWeights {
+                weight: self.weight.data(),
+                bias: self.bias.data(),
+                quant: &self.quant,
+            },
             out,
             patch,
-            batch,
-            in_ch,
-            in_len,
-            out_ch,
-            kernel,
-            self.stride,
-            out_len,
+            ConvDims {
+                batch,
+                in_ch,
+                in_len,
+                out_ch,
+                kernel,
+                stride: self.stride,
+                out_len,
+            },
         );
         Shape::rank3(batch, out_ch, out_len)
     }
@@ -387,6 +433,8 @@ impl Layer for Conv1d {
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Tensor, &mut Tensor)) {
         f(&mut self.weight, &mut self.w_grad);
         f(&mut self.bias, &mut self.b_grad);
+        // The visitor may have stepped the kernels; drop the int8 cache.
+        self.quant.invalidate();
     }
 
     fn clone_box(&self) -> Box<dyn Layer> {
@@ -445,10 +493,9 @@ impl Layer for Relu {
         shape: Shape,
         out: &mut Vec<f32>,
         _patch: &mut Vec<f32>,
+        backend: &dyn ComputeBackend,
     ) -> Shape {
-        out.clear();
-        // `v <= 0.0` (not `max`) so NaN propagates exactly as in `infer`.
-        out.extend(input.iter().map(|&v| if v <= 0.0 { 0.0 } else { v }));
+        backend.relu(input, out);
         shape
     }
 
@@ -514,9 +561,9 @@ impl Layer for Tanh {
         shape: Shape,
         out: &mut Vec<f32>,
         _patch: &mut Vec<f32>,
+        backend: &dyn ComputeBackend,
     ) -> Shape {
-        out.clear();
-        out.extend(input.iter().map(|v| v.tanh()));
+        backend.tanh(input, out);
         shape
     }
 
@@ -625,6 +672,7 @@ impl Layer for MaxPool1d {
         shape: Shape,
         out: &mut Vec<f32>,
         _patch: &mut Vec<f32>,
+        _backend: &dyn ComputeBackend, // pure data movement, backend-free
     ) -> Shape {
         assert_eq!(shape.rank(), 3, "maxpool expects [batch, ch, len]");
         let (batch, ch, in_len) = (shape.dims()[0], shape.dims()[1], shape.dims()[2]);
@@ -718,6 +766,7 @@ impl Layer for Flatten {
         shape: Shape,
         out: &mut Vec<f32>,
         _patch: &mut Vec<f32>,
+        _backend: &dyn ComputeBackend, // pure data movement, backend-free
     ) -> Shape {
         let batch = shape.dims()[0];
         let rest: usize = shape.dims()[1..].iter().product();
@@ -881,6 +930,38 @@ mod tests {
             d.forward(&x, false);
         }));
         assert!(result.is_err());
+    }
+
+    #[test]
+    fn set_weights_refreshes_transpose_and_int8_cache() {
+        let mut d = Dense::new(2, 2, 5);
+        // Populate the int8 cache by running the quantized backend once.
+        let x = Tensor::from_vec(vec![1.0, -1.0], vec![1, 2]).unwrap();
+        let (mut out, mut patch) = (Vec::new(), Vec::new());
+        let shape = Shape::rank2(1, 2);
+        d.infer_into(
+            x.data(),
+            shape,
+            &mut out,
+            &mut patch,
+            crate::BackendKind::Int8.handle(),
+        );
+        assert!(d.quant.is_populated());
+        // A weight write must refresh the transpose and drop the cache.
+        let w = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], vec![2, 2]).unwrap();
+        d.set_weights(w);
+        assert!(!d.quant.is_populated(), "set_weights must invalidate int8");
+        assert_eq!(d.weight_t.data(), &[1.0, 3.0, 2.0, 4.0], "transpose synced");
+        // y = x W^T + b with b = 0: [1*1 + (-1)*2, 1*3 + (-1)*4].
+        let y = d.infer(&x);
+        assert_eq!(y.data(), &[-1.0, -1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dense weight shape mismatch")]
+    fn set_weights_rejects_wrong_shape() {
+        let mut d = Dense::new(2, 2, 5);
+        d.set_weights(Tensor::zeros(vec![3, 2]));
     }
 
     #[test]

@@ -256,7 +256,10 @@ impl DdqnAgent {
         assert_eq!(state.len(), self.config.state_dim, "state width mismatch");
         let x = Tensor::from_vec(state.to_vec(), vec![1, state.len()])
             .expect("shape matches by construction");
-        self.online.forward(&x, false).row(0)
+        // Inference path (no activation caching): routes through the
+        // scalar-backed `infer_scratch` kernels, bit-identical to
+        // `forward(&x, false)`. DDQN stays exact f32 on every backend.
+        self.online.infer(&x).row(0)
     }
 
     /// ε-greedy action selection.

@@ -7,7 +7,7 @@
 //! between runs on the *same* machine; the [`validate_bench_json`] schema
 //! check is what CI enforces.
 
-use msvs_core::{CompressorConfig, GroupingConfig, SchemeConfig};
+use msvs_core::{BackendKind, CompressorConfig, GroupingConfig, SchemeConfig};
 use msvs_telemetry::Json;
 use msvs_types::{Result, SimDuration};
 
@@ -15,7 +15,13 @@ use crate::config::SimulationConfig;
 use crate::runner::Simulation;
 
 /// Identifier stamped into the `schema` field of every bench document.
-pub const BENCH_SCHEMA: &str = "msvs-bench/v1";
+/// v2 added the required `backend` field; [`validate_bench_json`] still
+/// accepts committed v1 baselines (implicitly `scalar`).
+pub const BENCH_SCHEMA: &str = "msvs-bench/v2";
+
+/// The pre-backend schema, kept accepted so older committed baselines
+/// (`BENCH_4`…`BENCH_6`) remain comparable.
+const BENCH_SCHEMA_V1: &str = "msvs-bench/v1";
 
 /// Knobs of a bench run. The defaults are the pinned baseline shape;
 /// `threads: 0` resolves to all cores (recorded in the output).
@@ -31,6 +37,10 @@ pub struct BenchOptions {
     pub threads: usize,
     /// Base-station shards (`1` = the legacy single-cell path).
     pub shards: usize,
+    /// Compute backend for the frozen CNN encode path. Explicit (not the
+    /// `MSVS_BACKEND` env default) so a bench document always records the
+    /// backend it actually ran.
+    pub backend: BackendKind,
 }
 
 impl Default for BenchOptions {
@@ -41,6 +51,7 @@ impl Default for BenchOptions {
             intervals: 6,
             threads: 0,
             shards: 1,
+            backend: BackendKind::Scalar,
         }
     }
 }
@@ -72,6 +83,7 @@ impl BenchOptions {
             .scheme(scheme)
             .threads(self.threads)
             .shards(self.shards)
+            .backend(self.backend)
             .seed(self.seed)
             .build()
     }
@@ -162,6 +174,7 @@ pub fn run_bench(opts: &BenchOptions) -> Result<Json> {
         ("intervals", Json::Num(intervals_run as f64)),
         ("threads", Json::Num(threads as f64)),
         ("shards", Json::Num(sim.store().n_shards() as f64)),
+        ("backend", Json::Str(sim.backend().name().into())),
         ("shard_plane", shard_plane),
         ("spans", Json::Num(sim.telemetry().spans().len() as f64)),
         ("wall_s", Json::Num(wall_s)),
@@ -191,9 +204,18 @@ pub fn peak_rss_kb() -> Option<u64> {
         .ok()
 }
 
-/// Validates a bench document against the `msvs-bench/v1` schema: the
-/// identifying header fields, non-negative run numbers, and a `stages`
-/// object whose every entry carries count/p50/p90/p99/max.
+/// Reads a bench document's recorded backend name, treating legacy v1
+/// documents (which predate the field) as `scalar`.
+pub fn bench_backend_name(doc: &Json) -> &str {
+    doc.get("backend")
+        .and_then(Json::as_str)
+        .unwrap_or(BackendKind::Scalar.name())
+}
+
+/// Validates a bench document against the `msvs-bench/v2` schema (legacy
+/// `msvs-bench/v1` documents, which predate the `backend` field, stay
+/// accepted): the identifying header fields, non-negative run numbers,
+/// and a `stages` object whose every entry carries count/p50/p90/p99/max.
 ///
 /// # Errors
 /// Returns a message naming the first offending field.
@@ -202,8 +224,19 @@ pub fn validate_bench_json(doc: &Json) -> std::result::Result<(), String> {
         .get("schema")
         .and_then(Json::as_str)
         .ok_or("missing 'schema'")?;
-    if schema != BENCH_SCHEMA {
-        return Err(format!("schema is '{schema}', expected '{BENCH_SCHEMA}'"));
+    if schema != BENCH_SCHEMA && schema != BENCH_SCHEMA_V1 {
+        return Err(format!(
+            "schema is '{schema}', expected '{BENCH_SCHEMA}' (or legacy '{BENCH_SCHEMA_V1}')"
+        ));
+    }
+    if schema == BENCH_SCHEMA {
+        let backend = doc
+            .get("backend")
+            .and_then(Json::as_str)
+            .ok_or("missing 'backend'")?;
+        if BackendKind::parse(backend).is_none() {
+            return Err(format!("'backend' is '{backend}', not a known backend"));
+        }
     }
     for key in [
         "seed",
@@ -259,6 +292,7 @@ mod tests {
             intervals: 1,
             threads: 1,
             shards: 1,
+            backend: BackendKind::Simd,
         })
         .unwrap();
         validate_bench_json(&doc).unwrap();
@@ -266,6 +300,7 @@ mod tests {
         let reparsed = Json::parse(&doc.to_string()).unwrap();
         validate_bench_json(&reparsed).unwrap();
         assert_eq!(reparsed.get("threads").and_then(Json::as_u64), Some(1));
+        assert_eq!(bench_backend_name(&reparsed), "simd");
         assert!(
             reparsed
                 .get("stages")
@@ -280,7 +315,38 @@ mod tests {
         assert!(validate_bench_json(&Json::obj([])).is_err());
         let wrong = Json::obj([("schema", Json::Str("other/v9".into()))]);
         let err = validate_bench_json(&wrong).unwrap_err();
-        assert!(err.contains("msvs-bench/v1"), "{err}");
+        assert!(err.contains("msvs-bench/v2"), "{err}");
+        // A v2 document must carry a known backend.
+        let no_backend = Json::obj([("schema", Json::Str(BENCH_SCHEMA.into()))]);
+        let err = validate_bench_json(&no_backend).unwrap_err();
+        assert!(err.contains("backend"), "{err}");
+        let bad_backend = Json::obj([
+            ("schema", Json::Str(BENCH_SCHEMA.into())),
+            ("backend", Json::Str("gpu".into())),
+        ]);
+        let err = validate_bench_json(&bad_backend).unwrap_err();
+        assert!(err.contains("gpu"), "{err}");
+    }
+
+    #[test]
+    fn legacy_v1_documents_stay_accepted() {
+        // A v1 header must not trip the backend requirement, and reads
+        // back as the scalar backend.
+        let doc = run_bench(&BenchOptions {
+            seed: 7,
+            users: 24,
+            intervals: 1,
+            threads: 1,
+            shards: 1,
+            backend: BackendKind::Scalar,
+        })
+        .unwrap();
+        let mut text = doc.to_string().replace(BENCH_SCHEMA, BENCH_SCHEMA_V1);
+        text = text.replace("\"backend\":\"scalar\",", "");
+        let v1 = Json::parse(&text).unwrap();
+        assert!(v1.get("backend").is_none(), "backend field stripped");
+        validate_bench_json(&v1).unwrap();
+        assert_eq!(bench_backend_name(&v1), "scalar");
     }
 
     #[test]

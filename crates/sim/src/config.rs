@@ -2,7 +2,8 @@
 
 use msvs_channel::LinkConfig;
 use msvs_core::{
-    DemandPredictor, DtAssistedPredictor, HistoricalMeanPredictor, PipelineBacked, SchemeConfig,
+    BackendKind, DemandPredictor, DtAssistedPredictor, HistoricalMeanPredictor, PipelineBacked,
+    SchemeConfig,
 };
 use msvs_edge::EdgeConfig;
 use msvs_types::{Error, Result, SimDuration};
@@ -33,6 +34,19 @@ fn default_shards() -> usize {
         .and_then(|v| v.trim().parse().ok())
         .filter(|&n| n >= 1)
         .unwrap_or(1)
+}
+
+/// Environment variable that overrides the default compute backend
+/// (`scalar`, the bit-exact reference). Lets CI exercise the SIMD or int8
+/// inference path across the whole test suite without touching each
+/// test's config.
+pub const BACKEND_ENV: &str = "MSVS_BACKEND";
+
+fn default_backend() -> BackendKind {
+    std::env::var(BACKEND_ENV)
+        .ok()
+        .and_then(|v| BackendKind::parse(&v))
+        .unwrap_or_default()
 }
 
 /// Population shares of the three mobility models.
@@ -203,6 +217,12 @@ pub struct SimulationConfig {
     /// the `MSVS_SHARDS` environment variable, or `1`. Seeded runs
     /// produce bit-identical reports at any shard count.
     pub shards: usize,
+    /// Compute backend for the frozen CNN encode path (`scalar` is the
+    /// bit-exact reference; `simd` is bit-identical to it; `int8`
+    /// trades bounded embedding error for throughput). Training and the
+    /// DDQN always run exact f32 kernels regardless. Defaults to the
+    /// `MSVS_BACKEND` environment variable, or `scalar`.
+    pub backend: BackendKind,
     /// Master RNG seed.
     pub seed: u64,
 }
@@ -240,6 +260,7 @@ impl Default for SimulationConfig {
             faults: None,
             threads: default_threads(),
             shards: default_shards(),
+            backend: default_backend(),
             seed: 0,
         }
     }
@@ -397,6 +418,19 @@ impl SimulationConfigBuilder {
         self
     }
 
+    /// Compute backend for the frozen CNN encode path.
+    pub fn backend(mut self, backend: BackendKind) -> Self {
+        self.config.backend = backend;
+        self
+    }
+
+    /// Sample cap for silhouette scoring (`0` disables sampling; above
+    /// the cap a fixed-seed subsample keeps the O(n²) score tractable).
+    pub fn silhouette_cap(mut self, cap: usize) -> Self {
+        self.config.scheme.grouping.silhouette_sample_cap = cap;
+        self
+    }
+
     /// The scored predictor.
     pub fn predictor(mut self, predictor: DemandPredictorKind) -> Self {
         self.config.predictor = predictor;
@@ -513,6 +547,22 @@ mod tests {
         assert_eq!(config.threads, 4);
         // The builder keeps the demand interval in lockstep.
         assert_eq!(config.scheme.demand.interval, SimDuration::from_mins(2));
+    }
+
+    #[test]
+    fn builder_sets_backend_and_silhouette_cap() {
+        let config = SimulationConfig::builder()
+            .backend(BackendKind::Simd)
+            .silhouette_cap(512)
+            .build()
+            .unwrap();
+        assert_eq!(config.backend, BackendKind::Simd);
+        assert_eq!(config.scheme.grouping.silhouette_sample_cap, 512);
+        // `0` disables sampling and is valid.
+        assert!(SimulationConfig::builder()
+            .silhouette_cap(0)
+            .build()
+            .is_ok());
     }
 
     #[test]

@@ -28,11 +28,14 @@ pub mod metrics;
 pub mod report;
 pub mod runner;
 
-pub use bench::{peak_rss_kb, run_bench, validate_bench_json, BenchOptions, BENCH_SCHEMA};
+pub use bench::{
+    bench_backend_name, peak_rss_kb, run_bench, validate_bench_json, BenchOptions, BENCH_SCHEMA,
+};
 pub use config::{
-    DemandPredictorKind, MobilityMix, SimulationConfig, SimulationConfigBuilder, SHARDS_ENV,
-    THREADS_ENV,
+    DemandPredictorKind, MobilityMix, SimulationConfig, SimulationConfigBuilder, BACKEND_ENV,
+    SHARDS_ENV, THREADS_ENV,
 };
 pub use metrics::{IntervalRecord, SimulationReport};
+pub use msvs_core::BackendKind;
 pub use report::{format_table, to_csv};
 pub use runner::Simulation;

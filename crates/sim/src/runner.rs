@@ -284,6 +284,11 @@ impl Simulation {
         self.pool.threads()
     }
 
+    /// Active compute backend for the frozen CNN encode path.
+    pub fn backend(&self) -> msvs_core::BackendKind {
+        self.config.backend
+    }
+
     /// The sharded twin registry (inspection). With `shards: 1` this is
     /// a transparent facade over the single legacy store.
     pub fn store(&self) -> &ShardCoordinator {
@@ -1162,6 +1167,9 @@ fn resolve_scenario(config: &mut SimulationConfig) -> (CampusMap, Vec<Position>,
     };
     config.threads = pool.threads();
     config.scheme.threads = pool.threads();
+    // The backend rides the scheme config into the predictor's
+    // compressor, the same way the resolved thread count does.
+    config.scheme.compressor.backend = config.backend;
     (map, bs_positions, pool)
 }
 

@@ -3,10 +3,11 @@
 //! ```text
 //! msvs run [--users N] [--intervals N] [--seed S] [--churn F]
 //!          [--per-bs] [--predictor scheme|naive|ewma] [--threads N] [--shards N]
+//!          [--backend scalar|simd|int8] [--silhouette-cap N]
 //!          [--faults PROFILE] [--csv PATH] [--journal PATH] [--trace PATH]
 //! msvs report <journal.jsonl>
 //! msvs bench-report [--seed S] [--users N] [--intervals N] [--threads N]
-//!          [--shards N] [--out PATH]
+//!          [--shards N] [--backend scalar|simd|int8] [--out PATH]
 //! msvs bench-compare <baseline.json> <candidate.json>
 //! msvs swiping [--users N] [--seed S]
 //! msvs reserve [--headroom F] [--users N] [--seed S]
@@ -19,8 +20,8 @@ use std::process::ExitCode;
 use msvs::core::ReservationPolicy;
 use msvs::faults::FaultPlan;
 use msvs::sim::{
-    report, run_bench, validate_bench_json, BenchOptions, DemandPredictorKind, Simulation,
-    SimulationConfig, SimulationReport,
+    bench_backend_name, report, run_bench, validate_bench_json, BackendKind, BenchOptions,
+    DemandPredictorKind, Simulation, SimulationConfig, SimulationReport,
 };
 use msvs::telemetry::{chrome_trace, Event, EventJournal, RunManifest};
 use msvs::types::VideoCategory;
@@ -57,11 +58,13 @@ fn print_help() {
          USAGE:\n\
          \x20 msvs run     [--users N] [--intervals N] [--seed S] [--churn F]\n\
          \x20              [--per-bs] [--predictor scheme|naive|ewma] [--threads N]\n\
-         \x20              [--shards N] [--faults PROFILE] [--csv PATH]\n\
+         \x20              [--shards N] [--backend scalar|simd|int8]\n\
+         \x20              [--silhouette-cap N] [--faults PROFILE] [--csv PATH]\n\
          \x20              [--journal PATH] [--trace PATH]\n\
          \x20 msvs report  <journal.jsonl>             summarise a run's journal\n\
          \x20 msvs bench-report [--seed S] [--users N] [--intervals N] [--threads N]\n\
-         \x20              [--shards N] [--out PATH]   perf baseline as JSON\n\
+         \x20              [--shards N] [--backend scalar|simd|int8] [--out PATH]\n\
+         \x20                                          perf baseline as JSON\n\
          \x20 msvs bench-compare <baseline.json> <candidate.json>\n\
          \x20                                          stage-latency delta table\n\
          \x20 msvs swiping [--users N] [--seed S]      print a group's swipe curves\n\
@@ -76,6 +79,12 @@ fn print_help() {
          `--shards N` partitions the deployment into per-BS shards with\n\
          cross-shard twin handover (default from MSVS_SHARDS, else 1).\n\
          Seeded runs are bit-identical at any shard count.\n\
+         `--backend` picks the CNN-encode compute backend (default from\n\
+         MSVS_BACKEND, else scalar). `simd` is bit-identical to `scalar`;\n\
+         `int8` trades bounded embedding error for throughput. Training\n\
+         and the DDQN always run exact f32 kernels.\n\
+         `--silhouette-cap N` caps silhouette scoring at N sampled users\n\
+         (0 disables sampling; default 4096).\n\
          `--faults PROFILE` injects uplink faults from a built-in profile\n\
          ({}) or a JSON file (see results/fault_profiles/).\n\
          `--journal` writes the telemetry event journal as JSONL (plus a\n\
@@ -141,6 +150,13 @@ fn base_config(flags: &Flags<'_>) -> Result<SimulationConfig, String> {
     // Absent flag: keep the default (MSVS_SHARDS env var, or 1).
     if flags.value("--shards").is_some() {
         builder = builder.shards(flags.parse("--shards", 1usize)?);
+    }
+    // Absent flag: keep the default (MSVS_BACKEND env var, or scalar).
+    if flags.value("--backend").is_some() {
+        builder = builder.backend(flags.parse("--backend", BackendKind::Scalar)?);
+    }
+    if flags.value("--silhouette-cap").is_some() {
+        builder = builder.silhouette_cap(flags.parse("--silhouette-cap", 0usize)?);
     }
     builder.build().map_err(|e| e.to_string())
 }
@@ -245,7 +261,8 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         let mut manifest = RunManifest::new(sim.predictor_name(), seed)
             .with_config("users", n_users)
             .with_config("intervals", n_intervals)
-            .with_config("threads", sim.threads());
+            .with_config("threads", sim.threads())
+            .with_config("backend", sim.backend().name());
         for s in &result.telemetry.stages {
             manifest.add_stage_wall_ms(&s.stage, s.mean_ms * s.count as f64);
         }
@@ -264,7 +281,7 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
 }
 
 /// `msvs bench-report`: run the pinned-seed perf baseline and write the
-/// `msvs-bench/v1` JSON document (see `crates/sim/src/bench.rs`).
+/// `msvs-bench/v2` JSON document (see `crates/sim/src/bench.rs`).
 fn cmd_bench_report(args: &[String]) -> Result<(), String> {
     let flags = Flags::new(args)?;
     let defaults = BenchOptions::default();
@@ -274,8 +291,9 @@ fn cmd_bench_report(args: &[String]) -> Result<(), String> {
         intervals: flags.parse("--intervals", defaults.intervals)?,
         threads: flags.parse("--threads", defaults.threads)?,
         shards: flags.parse("--shards", defaults.shards)?,
+        backend: flags.parse("--backend", defaults.backend)?,
     };
-    let out = flags.value("--out").unwrap_or("BENCH_6.json");
+    let out = flags.value("--out").unwrap_or("BENCH_7.json");
     let doc = run_bench(&opts).map_err(|e| e.to_string())?;
     validate_bench_json(&doc)?;
     std::fs::write(out, format!("{doc}\n")).map_err(|e| e.to_string())?;
@@ -303,7 +321,7 @@ fn cmd_bench_report(args: &[String]) -> Result<(), String> {
 }
 
 /// `msvs bench-compare <baseline> <candidate>`: print a stage-latency
-/// delta table between two `msvs-bench/v1` documents. Informational —
+/// delta table between two bench documents. Informational —
 /// always exits 0 on well-formed inputs; regressions are for humans (or
 /// CI log readers) to judge, since shared runners are too noisy to gate
 /// on.
@@ -320,6 +338,13 @@ fn cmd_bench_compare(args: &[String]) -> Result<(), String> {
         Ok(doc)
     };
     let (base, cand) = (load(base_path)?, load(cand_path)?);
+    let (base_backend, cand_backend) = (bench_backend_name(&base), bench_backend_name(&cand));
+    if base_backend != cand_backend {
+        println!(
+            "warning: comparing across compute backends ({base_backend} vs {cand_backend}); \
+             latency deltas reflect the backend change, not a regression"
+        );
+    }
     let stage_p50s = |doc: &msvs::telemetry::Json| -> BTreeMap<String, f64> {
         match doc.get("stages") {
             Some(msvs::telemetry::Json::Obj(map)) => map
@@ -635,6 +660,34 @@ mod tests {
         let cfg = base_config(&Flags::new(&raw).unwrap()).unwrap();
         assert_eq!(cfg.shards, 4);
         let raw = args(&["--shards", "0"]);
+        assert!(base_config(&Flags::new(&raw).unwrap()).is_err());
+    }
+
+    #[test]
+    fn base_config_accepts_backend_flag() {
+        for (name, kind) in [
+            ("scalar", BackendKind::Scalar),
+            ("simd", BackendKind::Simd),
+            ("int8", BackendKind::Int8),
+        ] {
+            let raw = args(&["--backend", name]);
+            let cfg = base_config(&Flags::new(&raw).unwrap()).unwrap();
+            assert_eq!(cfg.backend, kind);
+        }
+        let raw = args(&["--backend", "gpu"]);
+        assert!(base_config(&Flags::new(&raw).unwrap()).is_err());
+    }
+
+    #[test]
+    fn base_config_accepts_silhouette_cap_flag() {
+        let raw = args(&["--silhouette-cap", "512"]);
+        let cfg = base_config(&Flags::new(&raw).unwrap()).unwrap();
+        assert_eq!(cfg.scheme.grouping.silhouette_sample_cap, 512);
+        // 0 disables sampling entirely (score every user).
+        let raw = args(&["--silhouette-cap", "0"]);
+        let cfg = base_config(&Flags::new(&raw).unwrap()).unwrap();
+        assert_eq!(cfg.scheme.grouping.silhouette_sample_cap, 0);
+        let raw = args(&["--silhouette-cap", "lots"]);
         assert!(base_config(&Flags::new(&raw).unwrap()).is_err());
     }
 

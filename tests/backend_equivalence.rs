@@ -1,0 +1,98 @@
+//! Report-level compute-backend guarantees: a seeded run routed through
+//! the SIMD backend must produce a bit-identical `SimulationReport` to
+//! the scalar reference, and the int8 quantized backend must complete
+//! end to end with its prediction accuracy within a pinned bound of the
+//! scalar run.
+
+use msvs::core::{BackendKind, CompressorConfig, GroupingConfig, SchemeConfig};
+use msvs::sim::{Simulation, SimulationConfig, SimulationReport};
+use msvs::types::SimDuration;
+
+fn small_scheme() -> SchemeConfig {
+    let mut scheme = SchemeConfig {
+        compressor: CompressorConfig {
+            window: 16,
+            epochs: 10,
+            ..Default::default()
+        },
+        grouping: GroupingConfig {
+            k_min: 2,
+            k_max: 5,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    scheme.demand.interval = SimDuration::from_mins(2);
+    scheme
+}
+
+/// Explicit `.backend(...)` override so these tests pin the backend even
+/// when CI exports `MSVS_BACKEND` (the env var only sets the default).
+fn seeded_config(seed: u64, users: usize, backend: BackendKind) -> SimulationConfig {
+    SimulationConfig::builder()
+        .users(users)
+        .intervals(2)
+        .warmup_intervals(1)
+        .interval(SimDuration::from_mins(2))
+        .scheme(small_scheme())
+        .threads(1)
+        .backend(backend)
+        .seed(seed)
+        .build()
+        .expect("test config is valid")
+}
+
+/// Wall-clock timings differ run to run; everything else must match.
+fn strip_wall(mut r: SimulationReport) -> SimulationReport {
+    for i in &mut r.intervals {
+        i.predict_wall_ms = 0.0;
+    }
+    r.telemetry = r.telemetry.with_zeroed_timings();
+    r
+}
+
+#[test]
+fn simd_backend_report_is_bit_identical_to_scalar() {
+    let scalar = strip_wall(
+        Simulation::run(seeded_config(33, 24, BackendKind::Scalar)).expect("scalar run"),
+    );
+    let simd =
+        strip_wall(Simulation::run(seeded_config(33, 24, BackendKind::Simd)).expect("simd run"));
+    assert_eq!(
+        scalar, simd,
+        "the SIMD backend reorders no per-element arithmetic, so a seeded \
+         report must match the scalar reference bit for bit"
+    );
+}
+
+#[test]
+fn int8_backend_completes_with_bounded_accuracy_delta() {
+    let scalar = Simulation::run(seeded_config(42, 200, BackendKind::Scalar)).expect("scalar run");
+    let int8 = Simulation::run(seeded_config(42, 200, BackendKind::Int8)).expect("int8 run");
+    assert_eq!(int8.intervals.len(), scalar.intervals.len());
+    for (name, s, q) in [
+        (
+            "radio",
+            scalar.mean_radio_accuracy(),
+            int8.mean_radio_accuracy(),
+        ),
+        (
+            "computing",
+            scalar.mean_computing_accuracy(),
+            int8.mean_computing_accuracy(),
+        ),
+    ] {
+        assert!(
+            s.is_finite() && q.is_finite(),
+            "{name} accuracy must be finite (scalar {s}, int8 {q})"
+        );
+        // Pinned bound: quantizing the frozen encoder's weights perturbs
+        // embeddings, which may shift k-means group boundaries, but the
+        // end-to-end demand accuracy must stay within 5 percentage
+        // points of the scalar run on this seeded scenario.
+        assert!(
+            (s - q).abs() < 0.05,
+            "{name} accuracy delta too large: scalar {s:.4} vs int8 {q:.4}"
+        );
+    }
+}

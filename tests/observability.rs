@@ -137,6 +137,7 @@ fn bench_document_from_a_tiny_run_is_schema_valid() {
         intervals: 1,
         threads: 2,
         shards: 1,
+        backend: msvs::sim::BackendKind::Scalar,
     })
     .expect("bench run");
     validate_bench_json(&doc).expect("schema-valid document");
@@ -148,12 +149,16 @@ fn bench_document_from_a_tiny_run_is_schema_valid() {
 
 #[test]
 fn committed_bench_baselines_are_schema_valid() {
-    for name in ["BENCH_5.json", "BENCH_6.json"] {
+    for name in ["BENCH_5.json", "BENCH_6.json", "BENCH_7.json"] {
         let path = format!("{}/results/{name}", env!("CARGO_MANIFEST_DIR"));
         let text = std::fs::read_to_string(&path).expect("bench baseline is committed");
         let doc = Json::parse(&text).expect("baseline parses");
         validate_bench_json(&doc).unwrap_or_else(|e| panic!("{name} is not schema-valid: {e}"));
     }
+    // The v2 baseline records the compute backend that produced it.
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/results/BENCH_7.json");
+    let doc = Json::parse(&std::fs::read_to_string(path).unwrap()).unwrap();
+    assert_eq!(msvs::sim::bench_backend_name(&doc), "simd");
     // The sharded baseline carries the per-shard demand attribution.
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/results/BENCH_6.json");
     let doc = Json::parse(&std::fs::read_to_string(path).unwrap()).unwrap();
