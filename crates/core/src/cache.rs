@@ -123,6 +123,13 @@ impl EmbeddingCache {
         self.entries.remove(&user)
     }
 
+    /// The cached user ids, sorted (checkpoint enumeration).
+    pub fn users(&self) -> Vec<UserId> {
+        let mut ids: Vec<UserId> = self.entries.keys().copied().collect();
+        ids.sort();
+        ids
+    }
+
     /// Aligns the cache with compressor `generation`, dropping every
     /// entry on a mismatch (a retrained compressor invalidates all
     /// cached encodings).

@@ -94,6 +94,61 @@ impl Brownout {
     }
 }
 
+/// How a shard outage manifests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OutageMode {
+    /// The shard process dies: its in-memory twins are gone and its users
+    /// must be failed over to neighbour shards from the last checkpoint.
+    Crash,
+    /// The shard stays up but its uplink is severed: users remain owned
+    /// by it, every report in the window is lost, and the degradation
+    /// ladder covers the staleness until the partition heals.
+    Partition,
+}
+
+impl OutageMode {
+    /// Stable label for JSON profiles and journals.
+    pub fn label(self) -> &'static str {
+        match self {
+            OutageMode::Crash => "crash",
+            OutageMode::Partition => "partition",
+        }
+    }
+
+    /// Parses a profile label.
+    pub fn from_label(label: &str) -> Option<Self> {
+        match label {
+            "crash" => Some(OutageMode::Crash),
+            "partition" => Some(OutageMode::Partition),
+            _ => None,
+        }
+    }
+}
+
+/// A control-plane fault: one shard (base station) goes dark for a window
+/// of scored intervals, either crashing (state lost, users failed over
+/// from the last checkpoint) or partitioning (state retained, reports
+/// lost). Outages against a shard index the deployment does not have are
+/// ignored, so a profile written for 4 shards is a no-op on 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardOutage {
+    /// Shard index the outage hits.
+    pub shard: usize,
+    /// First scored interval the shard is down.
+    pub from: u64,
+    /// Number of scored intervals it stays down (at least 1).
+    pub duration: u64,
+    /// Crash or partition semantics.
+    pub mode: OutageMode,
+}
+
+impl ShardOutage {
+    /// Whether this outage covers scored interval `interval`.
+    pub fn covers(&self, interval: u64) -> bool {
+        interval >= self.from && interval < self.from.saturating_add(self.duration)
+    }
+}
+
 /// A complete fault-injection plan.
 ///
 /// The default plan injects nothing (see [`FaultPlan::is_noop`]); the
@@ -116,6 +171,8 @@ pub struct FaultPlan {
     pub churn_bursts: Vec<ChurnBurst>,
     /// Scheduled edge brownouts.
     pub brownouts: Vec<Brownout>,
+    /// Scheduled shard outages (control-plane faults).
+    pub outages: Vec<ShardOutage>,
 }
 
 impl Default for FaultPlan {
@@ -135,6 +192,7 @@ impl FaultPlan {
             retry: RetrySpec::default(),
             churn_bursts: Vec::new(),
             brownouts: Vec::new(),
+            outages: Vec::new(),
         }
     }
 
@@ -145,6 +203,7 @@ impl FaultPlan {
             && self.corruption == 0.0
             && self.churn_bursts.is_empty()
             && self.brownouts.is_empty()
+            && self.outages.is_empty()
     }
 
     /// Validates every probability, window, and scale in the plan.
@@ -209,6 +268,20 @@ impl FaultPlan {
                 ));
             }
         }
+        for o in &self.outages {
+            if o.duration == 0 {
+                return Err(Error::invalid_config(
+                    "faults.outages.duration",
+                    "must be at least 1 interval",
+                ));
+            }
+            if o.shard >= 1024 {
+                return Err(Error::invalid_config(
+                    "faults.outages.shard",
+                    "must be below 1024 (the shard-count cap)",
+                ));
+            }
+        }
         Ok(())
     }
 
@@ -235,8 +308,30 @@ impl FaultPlan {
             .fold(1.0, f64::min)
     }
 
+    /// The outage mode covering `shard` at scored interval `interval`,
+    /// if any. Overlapping outages resolve crash-over-partition: a crash
+    /// always loses the shard's state, so it dominates.
+    pub fn outage_at(&self, shard: usize, interval: u64) -> Option<OutageMode> {
+        let mut mode = None;
+        for o in self.outages.iter().filter(|o| o.shard == shard) {
+            if o.covers(interval) {
+                match o.mode {
+                    OutageMode::Crash => return Some(OutageMode::Crash),
+                    OutageMode::Partition => mode = Some(OutageMode::Partition),
+                }
+            }
+        }
+        mode
+    }
+
     /// The built-in profile names accepted by [`FaultPlan::builtin`].
-    pub const BUILTINS: [&'static str; 3] = ["lossy-uplink", "churn-storm", "brownout"];
+    pub const BUILTINS: [&'static str; 5] = [
+        "lossy-uplink",
+        "churn-storm",
+        "brownout",
+        "bs-flap",
+        "bs-crash",
+    ];
 
     /// Looks up a built-in named profile.
     pub fn builtin(name: &str) -> Option<Self> {
@@ -285,6 +380,41 @@ impl FaultPlan {
                         capacity_scale: 0.5,
                     },
                 ],
+                ..Self::none()
+            }),
+            // A flapping base station: shard 1's uplink partitions twice
+            // for one interval each, with a mildly lossy uplink around it.
+            "bs-flap" => Some(Self {
+                seed: 0xB5_F1A0,
+                uplink_loss: 0.05,
+                outages: vec![
+                    ShardOutage {
+                        shard: 1,
+                        from: 1,
+                        duration: 1,
+                        mode: OutageMode::Partition,
+                    },
+                    ShardOutage {
+                        shard: 1,
+                        from: 3,
+                        duration: 1,
+                        mode: OutageMode::Partition,
+                    },
+                ],
+                ..Self::none()
+            }),
+            // A base station dies outright: shard 1 crashes for two
+            // intervals, its users fail over, then it restores from the
+            // last checkpoint and takes them back.
+            "bs-crash" => Some(Self {
+                seed: 0xB5_C4A5,
+                uplink_loss: 0.05,
+                outages: vec![ShardOutage {
+                    shard: 1,
+                    from: 1,
+                    duration: 2,
+                    mode: OutageMode::Crash,
+                }],
                 ..Self::none()
             }),
             _ => None,
@@ -346,6 +476,22 @@ impl FaultPlan {
                         .collect(),
                 ),
             ),
+            (
+                "outages",
+                Json::Arr(
+                    self.outages
+                        .iter()
+                        .map(|o| {
+                            Json::obj([
+                                ("shard", Json::Num(o.shard as f64)),
+                                ("from", Json::Num(o.from as f64)),
+                                ("duration", Json::Num(o.duration as f64)),
+                                ("mode", Json::Str(o.mode.label().into())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
         ])
     }
 
@@ -357,6 +503,25 @@ impl FaultPlan {
     /// [`FaultPlan::validate`].
     pub fn from_json(json: &Json) -> Result<Self> {
         let bad = |reason: &str| Error::invalid_config("faults", reason.to_string());
+        // A typoed key would otherwise silently parse as "inject nothing",
+        // so reject anything outside the known schema by name.
+        const KNOWN_KEYS: [&str; 8] = [
+            "seed",
+            "uplink_loss",
+            "delay",
+            "corruption",
+            "retry",
+            "churn_bursts",
+            "brownouts",
+            "outages",
+        ];
+        if let Json::Obj(map) = json {
+            for key in map.keys() {
+                if !KNOWN_KEYS.contains(&key.as_str()) {
+                    return Err(bad(&format!("unknown key `{key}` in profile")));
+                }
+            }
+        }
         let mut plan = Self::none();
         if let Some(v) = json.get("seed") {
             plan.seed = v.as_u64().ok_or_else(|| bad("seed must be an integer"))?;
@@ -427,6 +592,30 @@ impl FaultPlan {
                         .get("capacity_scale")
                         .and_then(Json::as_f64)
                         .ok_or_else(|| bad("brownouts.capacity_scale must be a number"))?,
+                });
+            }
+        }
+        if let Some(Json::Arr(items)) = json.get("outages") {
+            for item in items {
+                let shard = item
+                    .get("shard")
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| bad("outages.shard must be an integer"))?;
+                plan.outages.push(ShardOutage {
+                    shard: usize::try_from(shard).map_err(|_| bad("outages.shard out of range"))?,
+                    from: item
+                        .get("from")
+                        .and_then(Json::as_u64)
+                        .ok_or_else(|| bad("outages.from must be an integer"))?,
+                    duration: item
+                        .get("duration")
+                        .and_then(Json::as_u64)
+                        .ok_or_else(|| bad("outages.duration must be an integer"))?,
+                    mode: item
+                        .get("mode")
+                        .and_then(Json::as_str)
+                        .and_then(OutageMode::from_label)
+                        .ok_or_else(|| bad("outages.mode must be \"crash\" or \"partition\""))?,
                 });
             }
         }
@@ -585,7 +774,8 @@ struct Delayed<T> {
 
 /// Bounded FIFO buffer of delayed reports.
 ///
-/// Reports past the capacity are dropped (counted by the caller as lost);
+/// Reports past the capacity are dropped (counted by the caller as
+/// [`FaultCounts::overflowed`]);
 /// [`DelayQueue::drain_due`] releases everything due by `now` in insertion
 /// order, which is deterministic because each queue belongs to exactly one
 /// user and is only touched from that user's (sequential) tick loop.
@@ -655,7 +845,7 @@ impl<T> Default for DelayQueue<T> {
 /// parallel collection pass.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct FaultCounts {
-    /// Reports lost in transit (including delay-queue overflow).
+    /// Reports lost in transit.
     pub lost: u64,
     /// Reports delivered late.
     pub delayed: u64,
@@ -663,6 +853,10 @@ pub struct FaultCounts {
     pub corrupted: u64,
     /// Corrupted payloads the twin rejected on ingest.
     pub rejected: u64,
+    /// Delayed reports dropped because the delay queue was full — a
+    /// distinct loss class: the report was *accepted* for late delivery
+    /// and then silently never arrived.
+    pub overflowed: u64,
 }
 
 impl FaultCounts {
@@ -672,11 +866,12 @@ impl FaultCounts {
         self.delayed += other.delayed;
         self.corrupted += other.corrupted;
         self.rejected += other.rejected;
+        self.overflowed += other.overflowed;
     }
 
     /// Total faults injected.
     pub fn total(&self) -> u64 {
-        self.lost + self.delayed + self.corrupted
+        self.lost + self.delayed + self.corrupted + self.overflowed
     }
 }
 
@@ -754,6 +949,20 @@ mod tests {
                 duration: 2,
                 capacity_scale: 0.5,
             }],
+            outages: vec![
+                ShardOutage {
+                    shard: 1,
+                    from: 2,
+                    duration: 1,
+                    mode: OutageMode::Crash,
+                },
+                ShardOutage {
+                    shard: 3,
+                    from: 1,
+                    duration: 2,
+                    mode: OutageMode::Partition,
+                },
+            ],
         };
         let text = plan.to_json().to_string();
         let back = FaultPlan::parse(&text).unwrap();
@@ -766,6 +975,75 @@ mod tests {
         assert!(plan.is_noop());
         assert!(FaultPlan::parse("{nope").is_err());
         assert!(FaultPlan::parse(r#"{"uplink_loss": 7.0}"#).is_err());
+    }
+
+    #[test]
+    fn unknown_profile_keys_are_rejected_by_name() {
+        let err = FaultPlan::parse(r#"{"brownots": []}"#).unwrap_err();
+        assert!(err.to_string().contains("brownots"), "{err}");
+        // Known keys still parse.
+        FaultPlan::parse(r#"{"brownouts": []}"#).unwrap();
+    }
+
+    #[test]
+    fn outage_plan_is_not_noop_and_validates() {
+        let mut plan = FaultPlan::none();
+        plan.outages.push(ShardOutage {
+            shard: 2,
+            from: 1,
+            duration: 1,
+            mode: OutageMode::Partition,
+        });
+        assert!(!plan.is_noop(), "an outage-only plan injects something");
+        plan.validate().unwrap();
+        plan.outages[0].duration = 0;
+        assert!(plan.validate().is_err());
+        plan.outages[0].duration = 1;
+        plan.outages[0].shard = 4096;
+        assert!(plan.validate().is_err());
+    }
+
+    #[test]
+    fn outage_schedule_resolves_with_crash_precedence() {
+        let plan = FaultPlan {
+            outages: vec![
+                ShardOutage {
+                    shard: 1,
+                    from: 1,
+                    duration: 3,
+                    mode: OutageMode::Partition,
+                },
+                ShardOutage {
+                    shard: 1,
+                    from: 2,
+                    duration: 1,
+                    mode: OutageMode::Crash,
+                },
+            ],
+            ..FaultPlan::none()
+        };
+        assert_eq!(plan.outage_at(1, 0), None);
+        assert_eq!(plan.outage_at(1, 1), Some(OutageMode::Partition));
+        assert_eq!(plan.outage_at(1, 2), Some(OutageMode::Crash));
+        assert_eq!(plan.outage_at(1, 3), Some(OutageMode::Partition));
+        assert_eq!(plan.outage_at(1, 4), None);
+        assert_eq!(plan.outage_at(0, 2), None, "other shards unaffected");
+    }
+
+    #[test]
+    fn fault_counts_track_overflow_separately() {
+        let mut a = FaultCounts {
+            lost: 1,
+            overflowed: 2,
+            ..FaultCounts::default()
+        };
+        a.add(FaultCounts {
+            overflowed: 3,
+            delayed: 1,
+            ..FaultCounts::default()
+        });
+        assert_eq!(a.overflowed, 5);
+        assert_eq!(a.total(), 1 + 1 + 5);
     }
 
     #[test]

@@ -31,6 +31,12 @@ pub struct ShardDemandRow {
     pub video_cache_hits: u64,
     /// Shard-local video-cache tier misses.
     pub video_cache_misses: u64,
+    /// Intervals this shard spent inside an outage window (crash or
+    /// partition).
+    pub down_intervals: u64,
+    /// Fraction of observed intervals the shard was live (`1.0` when no
+    /// outage hit it).
+    pub availability: f64,
 }
 
 /// End-of-run summary of the shard plane, attached to the
@@ -47,6 +53,15 @@ pub struct ShardSummary {
     /// Worst observed load factor: max shard population over the ideal
     /// (uniform) population, `1.0` = perfectly balanced.
     pub peak_imbalance: f64,
+    /// Shard outage windows entered over the run (crash + partition).
+    pub outages_total: u64,
+    /// Twins migrated to live neighbours by crash failover sweeps.
+    pub failover_handovers_total: u64,
+    /// Serialized bytes of every boundary checkpoint captured.
+    pub checkpoint_bytes_total: u64,
+    /// Intervals the outage schedule was evaluated over (availability
+    /// denominator; `0` when the run never applied outages).
+    pub intervals_observed: u64,
     /// Per-shard demand attribution rows (one per shard, in shard order).
     pub demand: Vec<ShardDemandRow>,
 }

@@ -5,6 +5,7 @@ use std::collections::{BTreeSet, HashMap};
 use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use msvs_core::GroupDemandPrediction;
+use msvs_faults::OutageMode;
 use msvs_par::Pool;
 use msvs_telemetry::{stages, Telemetry};
 use msvs_types::{Error, Position, RepresentationLevel, Result, SimDuration, SimTime, UserId};
@@ -12,6 +13,7 @@ use msvs_udt::{SyncTracker, TwinView, UserDigitalTwin, WatchRecord};
 use msvs_video::Video;
 
 use crate::aggregate::{ReservationAggregator, ShardDemandRow, ShardSummary};
+use crate::checkpoint::ShardCheckpoint;
 use crate::embedding::ShardedEmbeddingBackend;
 use crate::router::ShardRouter;
 use crate::shard::Shard;
@@ -38,6 +40,36 @@ pub struct HandoverStats {
     pub embeddings_dropped: usize,
 }
 
+/// Which end of an outage window a transition marks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OutagePhase {
+    /// The shard just went down (checkpoint captured; crash mode also
+    /// ran the failover sweep).
+    Down,
+    /// The outage window ended and the shard is live again.
+    Restored,
+}
+
+/// One shard health transition from an
+/// [`ShardCoordinator::apply_outages`] sweep, returned so the runner can
+/// journal it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OutageTransition {
+    /// The shard that changed state.
+    pub shard: usize,
+    /// The outage mode (a window's mode is pinned at its down
+    /// transition; overlapping specs of the other mode do not flip it).
+    pub mode: OutageMode,
+    /// Down or restored.
+    pub phase: OutagePhase,
+    /// Twins migrated to live neighbours (crash down transitions only).
+    pub failed_over: u64,
+    /// Serialized size of the boundary checkpoint (down transitions).
+    pub checkpoint_bytes: u64,
+    /// Users captured in the checkpoint anchoring this window.
+    pub checkpoint_users: u64,
+}
+
 /// Runs the per-interval stages across a set of per-BS [`Shard`]s and
 /// presents them to the rest of the pipeline as one population.
 ///
@@ -59,6 +91,17 @@ pub struct ShardCoordinator {
     handovers_total: u64,
     embeddings_dropped_total: u64,
     peak_imbalance: f64,
+    /// Per-shard health: `Some(mode)` while the shard is inside an
+    /// outage window. Mutated only on the serial driver thread.
+    down: Vec<Option<OutageMode>>,
+    /// Last boundary checkpoint per shard (captured at each down
+    /// transition, anchors the recovery resync).
+    checkpoints: Vec<Option<ShardCheckpoint>>,
+    down_intervals: Vec<u64>,
+    intervals_observed: u64,
+    outages_total: u64,
+    failover_handovers_total: u64,
+    checkpoint_bytes_total: u64,
 }
 
 impl ShardCoordinator {
@@ -78,6 +121,13 @@ impl ShardCoordinator {
             handovers_total: 0,
             embeddings_dropped_total: 0,
             peak_imbalance: 1.0,
+            down: vec![None; n],
+            checkpoints: vec![None; n],
+            down_intervals: vec![0; n],
+            intervals_observed: 0,
+            outages_total: 0,
+            failover_handovers_total: 0,
+            checkpoint_bytes_total: 0,
         }
     }
 
@@ -123,6 +173,55 @@ impl ShardCoordinator {
         self.owner_read().get(&user).copied()
     }
 
+    /// The outage mode `shard` is currently inside, if any.
+    pub fn outage_mode(&self, shard: usize) -> Option<OutageMode> {
+        self.down.get(shard).copied().flatten()
+    }
+
+    /// Whether `shard` is currently inside an outage window.
+    pub fn is_down(&self, shard: usize) -> bool {
+        self.outage_mode(shard).is_some()
+    }
+
+    /// The last boundary checkpoint captured for `shard`, if an outage
+    /// has hit it.
+    pub fn last_checkpoint(&self, shard: usize) -> Option<&ShardCheckpoint> {
+        self.checkpoints.get(shard).and_then(Option::as_ref)
+    }
+
+    fn live_mask(&self) -> Vec<bool> {
+        self.down.iter().map(Option::is_none).collect()
+    }
+
+    /// Routes `pos` to a live shard. With every shard up this is exactly
+    /// [`ShardRouter::shard_of`] (bit-identical to the pre-outage
+    /// routing); during an outage the nearest live cell adopts the user.
+    fn route_live(&self, pos: Position) -> usize {
+        if self.down.iter().all(Option::is_none) {
+            return self.router.shard_of(pos);
+        }
+        self.router
+            .shard_of_live(pos, &self.live_mask())
+            // Unreachable: apply_outages never downs the last live shard.
+            .unwrap_or_else(|| self.router.shard_of(pos))
+    }
+
+    /// For each user (in caller order), whether their owning shard is
+    /// inside a partition window — the fault plane forces those uplink
+    /// reports lost. Computed serially so the parallel collection sweep
+    /// can consume a plain slice.
+    pub fn partitioned_users(&self, users: &[UserId]) -> Vec<bool> {
+        let owner = self.owner_read();
+        users
+            .iter()
+            .map(|u| {
+                owner
+                    .get(u)
+                    .is_some_and(|&s| matches!(self.down[s], Some(OutageMode::Partition)))
+            })
+            .collect()
+    }
+
     /// Registers (or replaces, on a churned slot) a twin, routed by the
     /// user's position. A replaced slot's old twin and cached embedding
     /// are evicted from whichever shard held them first, so a churned
@@ -133,7 +232,7 @@ impl ShardCoordinator {
             self.shards[prev].store().remove(user);
             self.shards[prev].evict_embedding(user);
         }
-        let shard = self.router.shard_of(pos);
+        let shard = self.route_live(pos);
         self.shards[shard].store().insert(twin);
         self.owner_write().insert(user, shard);
     }
@@ -297,6 +396,9 @@ impl ShardCoordinator {
             let Some(from) = self.owner_of(user) else {
                 continue;
             };
+            if self.down[from].is_some() {
+                continue; // partitioned cell: no reports cross, users stay
+            }
             let Some(pos) = self.shards[from]
                 .store()
                 .with_twin(user, |t| t.latest_position())
@@ -305,7 +407,7 @@ impl ShardCoordinator {
             else {
                 continue; // no reported position yet — stays put
             };
-            let to = self.router.shard_of(pos);
+            let to = self.route_live(pos);
             if to == from {
                 continue;
             }
@@ -340,6 +442,169 @@ impl ShardCoordinator {
             t.gauge("shard_imbalance", "all").set(imbalance);
         }
         stats
+    }
+
+    /// Applies one interval's shard-outage schedule and accounts
+    /// availability. `target(shard)` is the fault plan's verdict for the
+    /// interval (e.g. [`msvs_faults::FaultPlan::outage_at`]); `users` is
+    /// the caller's deterministic user vector, borrowed exactly as for
+    /// [`rebalance`](Self::rebalance).
+    ///
+    /// Transitions are serial and interval-scheduled, so the whole
+    /// lifecycle is bit-identical at any thread count:
+    ///
+    /// - **down** (`None -> Some(mode)`): a boundary [`ShardCheckpoint`]
+    ///   is captured and round-tripped through its JSON codec (any
+    ///   lossiness fails loud here, not at restore). `Crash` then runs
+    ///   the failover sweep — every owned twin is exported through the
+    ///   normal handover path to the nearest live cell (ring-next shard
+    ///   for users with no reported position), cached embeddings dying
+    ///   with the BS — and the store ends empty. `Partition` leaves the
+    ///   twins in place; the runner forces those users' uplink reports
+    ///   lost, which engages the sync-tracker retry/backoff and the
+    ///   prediction degradation ladder.
+    /// - **restored** (`Some(mode) -> None` once the window ends): the
+    ///   store's instance-nonce counter resumes monotonically from the
+    ///   checkpoint so a recovered shard can never re-stamp a nonce, and
+    ///   the next [`rebalance`](Self::rebalance) sweep takes the shard's
+    ///   users back through the same handover path (the interval delta
+    ///   rides the live twins; a partitioned shard replays its backlog
+    ///   through the trackers' pending retries).
+    ///
+    /// A transition that would down the **last live shard** is ignored
+    /// deterministically — its users would have nowhere to go. While a
+    /// shard is down, overlapping specs of the other mode do not flip
+    /// the window's pinned mode. Twin conservation holds across the
+    /// whole kill/failover/restore cycle: a failover moves twins, never
+    /// duplicates or drops them.
+    pub fn apply_outages(
+        &mut self,
+        interval: u64,
+        target: impl Fn(usize) -> Option<OutageMode>,
+        users: &mut [HandoverUser<'_>],
+    ) -> Vec<OutageTransition> {
+        let mut transitions = Vec::new();
+        if !self.sharded() {
+            return transitions;
+        }
+        let before = self.len();
+        for i in 0..self.shards.len() {
+            match (self.down[i], target(i)) {
+                (None, Some(mode)) => {
+                    let live_after = self
+                        .down
+                        .iter()
+                        .enumerate()
+                        .filter(|(j, d)| *j != i && d.is_none())
+                        .count();
+                    if live_after == 0 {
+                        continue; // never down the last live shard
+                    }
+                    let scope = self
+                        .telemetry
+                        .as_ref()
+                        .map(|t| t.stage_scope(stages::SHARD_OUTAGE));
+                    let trackers: HashMap<UserId, SyncTracker> = {
+                        let owner = self.owner_read();
+                        users
+                            .iter()
+                            .filter(|hu| owner.get(&hu.user) == Some(&i))
+                            .map(|hu| (hu.user, hu.tracker.clone()))
+                            .collect()
+                    };
+                    let ckpt = ShardCheckpoint::capture(&self.shards[i], interval, |u| {
+                        trackers.get(&u).cloned().unwrap_or_default()
+                    });
+                    let encoded = ckpt.to_json().to_string();
+                    let ckpt = ShardCheckpoint::parse(&encoded)
+                        .expect("checkpoint codec must round-trip its own output");
+                    let bytes = encoded.len() as u64;
+                    self.down[i] = Some(mode);
+                    let mut failed_over = 0u64;
+                    if mode == OutageMode::Crash {
+                        let mask = self.live_mask();
+                        for hu in users.iter_mut() {
+                            if self.owner_of(hu.user) != Some(i) {
+                                continue;
+                            }
+                            let pos = self.shards[i]
+                                .store()
+                                .with_twin(hu.user, |t| t.latest_position())
+                                .ok()
+                                .flatten();
+                            let to = pos
+                                .and_then(|p| self.router.shard_of_live(p, &mask))
+                                .or_else(|| self.router.next_live_shard(i, &mask))
+                                .expect("a live shard exists (guarded above)");
+                            let tracker = std::mem::take(hu.tracker);
+                            let export = self.shards[i]
+                                .export(hu.user, tracker)
+                                .expect("owner map said this shard holds the twin");
+                            *hu.tracker = self.shards[to].import(export, false);
+                            self.owner_write().insert(hu.user, to);
+                            failed_over += 1;
+                        }
+                        debug_assert!(
+                            self.shards[i].is_empty(),
+                            "crash failover must evacuate every twin"
+                        );
+                    }
+                    self.outages_total += 1;
+                    self.failover_handovers_total += failed_over;
+                    self.checkpoint_bytes_total += bytes;
+                    transitions.push(OutageTransition {
+                        shard: i,
+                        mode,
+                        phase: OutagePhase::Down,
+                        failed_over,
+                        checkpoint_bytes: bytes,
+                        checkpoint_users: ckpt.len() as u64,
+                    });
+                    self.checkpoints[i] = Some(ckpt);
+                    if let (Some(t), Some(_scope)) = (&self.telemetry, scope.as_ref()) {
+                        t.counter("shard_outages_total", mode.label()).add(1);
+                        t.counter("checkpoint_bytes_total", "all").add(bytes);
+                        t.counter("failover_handovers_total", "all")
+                            .add(failed_over);
+                    }
+                }
+                (Some(mode), None) => {
+                    let _scope = self
+                        .telemetry
+                        .as_ref()
+                        .map(|t| t.stage_scope(stages::SHARD_RESTORE));
+                    let checkpoint_users = self.checkpoints[i]
+                        .as_ref()
+                        .map(|c| {
+                            self.shards[i]
+                                .store()
+                                .restore_next_instance(c.next_instance);
+                            c.len() as u64
+                        })
+                        .unwrap_or(0);
+                    self.down[i] = None;
+                    transitions.push(OutageTransition {
+                        shard: i,
+                        mode,
+                        phase: OutagePhase::Restored,
+                        failed_over: 0,
+                        checkpoint_bytes: 0,
+                        checkpoint_users,
+                    });
+                }
+                // Steady state; a mode change while down keeps the
+                // window's pinned mode.
+                _ => {}
+            }
+        }
+        debug_assert_eq!(self.len(), before, "outage transitions must conserve twins");
+        self.intervals_observed += 1;
+        for (i, d) in self.down.iter().enumerate() {
+            if d.is_some() {
+                self.down_intervals[i] += 1;
+            }
+        }
+        transitions
     }
 
     /// Current load factor: the largest shard population over the ideal
@@ -407,6 +672,11 @@ impl ShardCoordinator {
         self.handovers_total
     }
 
+    /// Cumulative crash failover handovers across the run.
+    pub fn failover_handovers_total(&self) -> u64 {
+        self.failover_handovers_total
+    }
+
     /// End-of-run shard-plane summary for the simulation report.
     pub fn summary(&self) -> ShardSummary {
         ShardSummary {
@@ -414,6 +684,10 @@ impl ShardCoordinator {
             handovers_total: self.handovers_total,
             embeddings_dropped_total: self.embeddings_dropped_total,
             peak_imbalance: self.peak_imbalance,
+            outages_total: self.outages_total,
+            failover_handovers_total: self.failover_handovers_total,
+            checkpoint_bytes_total: self.checkpoint_bytes_total,
+            intervals_observed: self.intervals_observed,
             demand: self
                 .shards
                 .iter()
@@ -427,6 +701,12 @@ impl ShardCoordinator {
                         computing: self.aggregator.computing()[i],
                         video_cache_hits: hits,
                         video_cache_misses: misses,
+                        down_intervals: self.down_intervals[i],
+                        availability: if self.intervals_observed == 0 {
+                            1.0
+                        } else {
+                            1.0 - self.down_intervals[i] as f64 / self.intervals_observed as f64
+                        },
                     }
                 })
                 .collect(),
@@ -591,6 +871,199 @@ mod tests {
             c.with_twin(UserId(1), |t| t.revision().instance).unwrap(),
             2
         );
+    }
+
+    fn handover_users<'a>(trackers: &'a mut [(UserId, SyncTracker)]) -> Vec<HandoverUser<'a>> {
+        trackers
+            .iter_mut()
+            .map(|(user, tracker)| HandoverUser {
+                user: *user,
+                tracker,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn crash_kill_failover_restore_conserves_twins() {
+        let mut c = coordinator(2);
+        insert_at(&mut c, 0, 1.0, 1.0); // shard 0
+        insert_at(&mut c, 1, 99.0, 1.0); // shard 1
+        insert_at(&mut c, 2, 98.0, 2.0); // shard 1
+        let mut trackers: Vec<(UserId, SyncTracker)> = (0..3)
+            .map(|i| (UserId(i), SyncTracker::default()))
+            .collect();
+
+        // Interval 1: shard 1 crashes. Its users fail over to shard 0.
+        let mut users = handover_users(&mut trackers);
+        let t = c.apply_outages(1, |s| (s == 1).then_some(OutageMode::Crash), &mut users);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t[0].phase, OutagePhase::Down);
+        assert_eq!(t[0].failed_over, 2);
+        assert_eq!(t[0].checkpoint_users, 2);
+        assert!(t[0].checkpoint_bytes > 0);
+        assert!(c.is_down(1));
+        assert_eq!(c.len(), 3, "failover conserves twins");
+        assert_eq!(c.owner_of(UserId(1)), Some(0));
+        assert_eq!(c.owner_of(UserId(2)), Some(0));
+        assert!(c.shards()[1].is_empty());
+        assert_eq!(c.failover_handovers_total(), 2);
+
+        // Mid-outage: churn arrivals route around the dead cell.
+        let twin = UserDigitalTwin::new(UserId(9));
+        c.insert(twin, Position::new(99.0, 1.0));
+        assert_eq!(c.owner_of(UserId(9)), Some(0));
+        c.remove(UserId(9));
+
+        // Mid-outage rebalance must not move anyone back yet.
+        let mut users = handover_users(&mut trackers);
+        assert_eq!(c.rebalance(&mut users, |_| false).moved, 0);
+
+        // Interval 3: the window ends; the next sweep takes them back.
+        let mut users = handover_users(&mut trackers);
+        let t = c.apply_outages(3, |_| None, &mut users);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t[0].phase, OutagePhase::Restored);
+        assert_eq!(t[0].checkpoint_users, 2);
+        assert!(!c.is_down(1));
+        let mut users = handover_users(&mut trackers);
+        let stats = c.rebalance(&mut users, |_| false);
+        assert_eq!(stats.moved, 2, "recovered shard takes its users back");
+        assert_eq!(c.owner_of(UserId(1)), Some(1));
+        assert_eq!(c.len(), 3, "conservation holds across the whole cycle");
+    }
+
+    #[test]
+    fn restored_store_never_restamps_a_pre_outage_nonce() {
+        let mut c = coordinator(2);
+        insert_at(&mut c, 1, 99.0, 1.0); // shard 1
+        insert_at(&mut c, 0, 1.0, 1.0); // shard 0 (keeps a live target)
+        let nonce_before = c.shards()[1].store().next_instance();
+        let mut trackers: Vec<(UserId, SyncTracker)> = (0..2)
+            .map(|i| (UserId(i), SyncTracker::default()))
+            .collect();
+        let mut users = handover_users(&mut trackers);
+        c.apply_outages(1, |s| (s == 1).then_some(OutageMode::Crash), &mut users);
+        let mut users = handover_users(&mut trackers);
+        c.apply_outages(2, |_| None, &mut users);
+        assert!(c.shards()[1].store().next_instance() >= nonce_before);
+        // A fresh insert on the recovered shard stamps a new nonce.
+        let twin = UserDigitalTwin::new(UserId(7));
+        c.insert(twin, Position::new(99.0, 1.0));
+        let rev = c.with_twin(UserId(7), |t| t.revision()).unwrap();
+        assert!(rev.instance >= nonce_before);
+    }
+
+    #[test]
+    fn partition_pins_users_in_place_and_reports_them() {
+        let mut c = coordinator(2);
+        insert_at(&mut c, 0, 1.0, 1.0);
+        insert_at(&mut c, 1, 99.0, 1.0);
+        let mut trackers: Vec<(UserId, SyncTracker)> = (0..2)
+            .map(|i| (UserId(i), SyncTracker::default()))
+            .collect();
+        let mut users = handover_users(&mut trackers);
+        let t = c.apply_outages(1, |s| (s == 1).then_some(OutageMode::Partition), &mut users);
+        assert_eq!(t[0].failed_over, 0, "partition does not move twins");
+        assert_eq!(c.owner_of(UserId(1)), Some(1));
+        assert_eq!(
+            c.partitioned_users(&[UserId(0), UserId(1)]),
+            vec![false, true]
+        );
+        // The partitioned user cannot hand over even if their last
+        // report put them across the boundary.
+        c.update_location(UserId(1), SimTime::from_secs(9), Position::new(1.0, 2.0))
+            .unwrap();
+        let mut users = handover_users(&mut trackers);
+        assert_eq!(c.rebalance(&mut users, |_| false).moved, 0);
+        // Heal: the backlog user hands over on the next sweep.
+        let mut users = handover_users(&mut trackers);
+        c.apply_outages(2, |_| None, &mut users);
+        assert_eq!(c.partitioned_users(&[UserId(1)]), vec![false]);
+        let mut users = handover_users(&mut trackers);
+        assert_eq!(c.rebalance(&mut users, |_| false).moved, 1);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn the_last_live_shard_cannot_be_downed() {
+        let mut c = coordinator(2);
+        insert_at(&mut c, 0, 1.0, 1.0);
+        insert_at(&mut c, 1, 99.0, 1.0);
+        let mut trackers: Vec<(UserId, SyncTracker)> = (0..2)
+            .map(|i| (UserId(i), SyncTracker::default()))
+            .collect();
+        let mut users = handover_users(&mut trackers);
+        let t = c.apply_outages(1, |_| Some(OutageMode::Crash), &mut users);
+        assert_eq!(t.len(), 1, "only the first shard goes down");
+        assert_eq!(t[0].shard, 0);
+        assert!(!c.is_down(1), "shard 1 is the last live shard");
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn availability_accounts_down_intervals() {
+        let mut c = coordinator(2);
+        insert_at(&mut c, 0, 1.0, 1.0);
+        insert_at(&mut c, 1, 99.0, 1.0);
+        let mut trackers: Vec<(UserId, SyncTracker)> = (0..2)
+            .map(|i| (UserId(i), SyncTracker::default()))
+            .collect();
+        for interval in 0..4u64 {
+            let mut users = handover_users(&mut trackers);
+            // Shard 1 is down for intervals 1 and 2 of 4.
+            c.apply_outages(
+                interval,
+                |s| (s == 1 && (1..3).contains(&interval)).then_some(OutageMode::Partition),
+                &mut users,
+            );
+        }
+        let summary = c.summary();
+        assert_eq!(summary.intervals_observed, 4);
+        assert_eq!(summary.outages_total, 1);
+        assert_eq!(summary.demand[0].down_intervals, 0);
+        assert_eq!(summary.demand[1].down_intervals, 2);
+        assert!((summary.demand[0].availability - 1.0).abs() < 1e-12);
+        assert!((summary.demand[1].availability - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn boundary_tie_user_keeps_a_unique_stable_owner_under_outage_overlay() {
+        // A user exactly equidistant between BS 0 (shard 0) and BS 1
+        // (shard 1). The tie must resolve identically in the base router
+        // and the outage overlay, and the owner map must hold exactly
+        // one entry for the user at every step of the cycle.
+        let mut c = coordinator(2);
+        insert_at(&mut c, 0, 50.0, 0.0); // tie -> lowest BS index -> shard 0
+        insert_at(&mut c, 1, 99.0, 1.0); // shard 1 stays live
+        assert_eq!(c.owner_of(UserId(0)), Some(0));
+        let mut trackers: Vec<(UserId, SyncTracker)> = (0..2)
+            .map(|i| (UserId(i), SyncTracker::default()))
+            .collect();
+
+        // Rebalance with everything live: the tie user must not flap.
+        let mut users = handover_users(&mut trackers);
+        assert_eq!(c.rebalance(&mut users, |_| false).moved, 0);
+
+        // Crash shard 0: the tie re-resolves deterministically onto the
+        // overlay (nearest live BS) and the owner stays unique.
+        let mut users = handover_users(&mut trackers);
+        c.apply_outages(1, |s| (s == 0).then_some(OutageMode::Crash), &mut users);
+        assert_eq!(c.owner_of(UserId(0)), Some(1));
+        assert_eq!(c.len(), 2, "exactly one twin per user");
+        // Sweeps while down are idempotent for the boundary user.
+        let mut users = handover_users(&mut trackers);
+        assert_eq!(c.rebalance(&mut users, |_| false).moved, 0);
+
+        // Restore: the tie falls back to the base resolution (shard 0).
+        let mut users = handover_users(&mut trackers);
+        c.apply_outages(3, |_| None, &mut users);
+        let mut users = handover_users(&mut trackers);
+        assert_eq!(c.rebalance(&mut users, |_| false).moved, 1);
+        assert_eq!(c.owner_of(UserId(0)), Some(0));
+        assert_eq!(c.len(), 2);
+        // And the resolution is stable: a second sweep moves nobody.
+        let mut users = handover_users(&mut trackers);
+        assert_eq!(c.rebalance(&mut users, |_| false).moved, 0);
     }
 
     #[test]

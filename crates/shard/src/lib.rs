@@ -29,13 +29,17 @@
 //!   per-shard rows that sum back to the global reservation totals.
 
 pub mod aggregate;
+pub mod checkpoint;
 pub mod coordinator;
 pub mod embedding;
 pub mod router;
 pub mod shard;
 
 pub use aggregate::{ReservationAggregator, ShardDemandRow, ShardSummary};
-pub use coordinator::{HandoverStats, HandoverUser, ShardCoordinator};
+pub use checkpoint::{CheckpointEntry, ShardCheckpoint, CHECKPOINT_SCHEMA};
+pub use coordinator::{
+    HandoverStats, HandoverUser, OutagePhase, OutageTransition, ShardCoordinator,
+};
 pub use embedding::ShardedEmbeddingBackend;
 pub use router::ShardRouter;
 pub use shard::{Shard, TwinExport};

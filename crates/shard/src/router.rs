@@ -65,6 +65,34 @@ impl ShardRouter {
     pub fn shard_of(&self, pos: Position) -> usize {
         self.shard_of_bs(self.nearest_bs(pos))
     }
+
+    /// Index of the nearest base station whose shard is live, or `None`
+    /// when every shard is down. `live[s]` says whether shard `s` is
+    /// up; ties break by BS index through the same `total_cmp` ordering
+    /// as [`nearest_bs`](Self::nearest_bs), so the failover overlay is
+    /// exactly the base routing with dead cells masked out.
+    pub fn nearest_live_bs(&self, pos: Position, live: &[bool]) -> Option<usize> {
+        self.bs_positions
+            .iter()
+            .enumerate()
+            .filter(|(b, _)| live.get(self.shard_of_bs(*b)).copied().unwrap_or(false))
+            .min_by(|(_, a), (_, b)| pos.distance_sq(**a).total_cmp(&pos.distance_sq(**b)))
+            .map(|(b, _)| b)
+    }
+
+    /// The live shard that adopts a user at `pos` while its home cell
+    /// is down, or `None` when no shard is live.
+    pub fn shard_of_live(&self, pos: Position, live: &[bool]) -> Option<usize> {
+        self.nearest_live_bs(pos, live).map(|b| self.shard_of_bs(b))
+    }
+
+    /// The next live shard after `from` on the shard ring — the
+    /// deterministic fallback for users with no reported position yet.
+    pub fn next_live_shard(&self, from: usize, live: &[bool]) -> Option<usize> {
+        (1..=self.n_shards)
+            .map(|step| (from + step) % self.n_shards)
+            .find(|&s| live.get(s).copied().unwrap_or(false))
+    }
 }
 
 #[cfg(test)]
@@ -110,5 +138,51 @@ mod tests {
     #[should_panic(expected = "at least one base station")]
     fn empty_bs_set_panics() {
         ShardRouter::new(Vec::new(), 1);
+    }
+
+    #[test]
+    fn live_overlay_masks_dead_cells() {
+        // 4 BSs on 2 shards: BS 0/2 -> shard 0, BS 1/3 -> shard 1.
+        let router = ShardRouter::new(grid(), 2);
+        let pos = Position::new(99.0, 1.0); // nearest BS 1 (shard 1)
+        assert_eq!(router.shard_of(pos), 1);
+        assert_eq!(router.shard_of_live(pos, &[true, false]), Some(0));
+        assert_eq!(
+            router.nearest_live_bs(pos, &[true, false]),
+            Some(0),
+            "BS 0 is the nearest cell on a live shard"
+        );
+        assert_eq!(router.shard_of_live(pos, &[true, true]), Some(1));
+        assert_eq!(router.shard_of_live(pos, &[false, false]), None);
+    }
+
+    #[test]
+    fn ring_fallback_finds_the_next_live_shard() {
+        let router = ShardRouter::new(grid(), 4);
+        assert_eq!(
+            router.next_live_shard(1, &[true, false, true, true]),
+            Some(2)
+        );
+        assert_eq!(
+            router.next_live_shard(3, &[true, false, false, false]),
+            Some(0)
+        );
+        assert_eq!(router.next_live_shard(0, &[false; 4]), None);
+    }
+
+    #[test]
+    fn boundary_tie_breaks_identically_with_and_without_overlay() {
+        // Exactly equidistant between BS 0 and BS 1: both overloads must
+        // pick the same winner (lowest BS index) so an outage overlay
+        // never flaps a boundary user between owners.
+        let router = ShardRouter::new(grid(), 4);
+        let mid = Position::new(50.0, 0.0);
+        assert_eq!(router.nearest_bs(mid), 0);
+        assert_eq!(router.nearest_live_bs(mid, &[true; 4]), Some(0));
+        // With BS 0's shard dead, the tie falls deterministically to BS 1.
+        assert_eq!(
+            router.nearest_live_bs(mid, &[false, true, true, true]),
+            Some(1)
+        );
     }
 }

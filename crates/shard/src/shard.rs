@@ -153,6 +153,12 @@ impl Shard {
     pub fn evict_embedding(&mut self, user: UserId) {
         self.lock_embeddings().take(user);
     }
+
+    /// User ids with a cached embedding on this shard, sorted
+    /// (checkpoint capture).
+    pub fn embedding_users(&self) -> Vec<UserId> {
+        self.lock_embeddings().users()
+    }
 }
 
 #[cfg(test)]

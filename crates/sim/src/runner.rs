@@ -7,7 +7,7 @@ use msvs_edge::EdgeServer;
 use msvs_faults::{Attribute, DelayQueue, FaultCounts, FaultInjector, FaultPlan, ReportFate};
 use msvs_mobility::{CampusMap, MobilityModel, RandomWaypoint};
 use msvs_par::Pool;
-use msvs_shard::{HandoverUser, ShardCoordinator, ShardRouter};
+use msvs_shard::{HandoverUser, OutagePhase, ShardCoordinator, ShardRouter};
 use msvs_telemetry::{stage, Event, Telemetry};
 use msvs_types::{
     CpuCycles, Error, Position, ResourceBlocks, Result, SimDuration, SimTime, UserId,
@@ -295,6 +295,25 @@ impl Simulation {
         &self.store
     }
 
+    /// Snapshots every shard into a [`ShardCheckpoint`] at the current
+    /// interval boundary, pairing each twin with its user's live
+    /// `SyncTracker` state. Works at any shard count (a single-shard run
+    /// yields one checkpoint of the whole population).
+    pub fn checkpoint_shards(&self) -> Vec<msvs_shard::ShardCheckpoint> {
+        let trackers: std::collections::HashMap<UserId, &SyncTracker> =
+            self.users.iter().map(|u| (u.id, &u.tracker)).collect();
+        let interval = self.intervals_run as u64;
+        self.store
+            .shards()
+            .iter()
+            .map(|shard| {
+                msvs_shard::ShardCheckpoint::capture(shard, interval, |id| {
+                    trackers.get(&id).map(|t| (*t).clone()).unwrap_or_default()
+                })
+            })
+            .collect()
+    }
+
     /// The campus map in use.
     pub fn map(&self) -> &CampusMap {
         &self.map
@@ -375,9 +394,52 @@ impl Simulation {
             .with_interval(index as u64);
         self.apply_churn();
         self.apply_scheduled_faults(index as u64);
+        self.apply_outage_transitions(index as u64);
         self.rebalance_shards();
         self.collect_phase();
         self.scored_interval(index)
+    }
+
+    /// Applies the fault plan's shard-outage schedule for this interval
+    /// and journals the resulting health transitions. Runs every scored
+    /// interval of a sharded deployment (the availability denominator is
+    /// the scored-interval count); outage specs for shards the
+    /// deployment doesn't have, and single-shard runs, are ignored.
+    fn apply_outage_transitions(&mut self, index: u64) {
+        if !self.store.sharded() {
+            return;
+        }
+        let plan = self.faults.as_ref().map(|rt| &rt.plan);
+        let mut handover: Vec<HandoverUser<'_>> = self
+            .users
+            .iter_mut()
+            .map(|u| HandoverUser {
+                user: u.id,
+                tracker: &mut u.tracker,
+            })
+            .collect();
+        let transitions = self.store.apply_outages(
+            index,
+            |shard| plan.and_then(|p| p.outage_at(shard, index)),
+            &mut handover,
+        );
+        for t in transitions {
+            match t.phase {
+                OutagePhase::Down => self.telemetry.emit(Event::ShardDown {
+                    interval: index,
+                    shard: t.shard as u64,
+                    mode: t.mode.label().to_string(),
+                    failed_over: t.failed_over,
+                    checkpoint_bytes: t.checkpoint_bytes,
+                }),
+                OutagePhase::Restored => self.telemetry.emit(Event::ShardRestored {
+                    interval: index,
+                    shard: t.shard as u64,
+                    mode: t.mode.label().to_string(),
+                    recovered: t.checkpoint_users,
+                }),
+            }
+        }
     }
 
     /// Re-evaluates shard ownership from each twin's last reported
@@ -508,9 +570,20 @@ impl Simulation {
         let start = self.now;
         let pool = self.pool;
         let faults = self.faults.as_ref();
+        // Users behind a partitioned shard, computed serially before the
+        // parallel region (ownership cannot change inside it). Empty
+        // when no fault plan runs — indexing falls back to `false`.
+        let partitioned: Vec<bool> = if faults.is_some() && self.store.sharded() {
+            let ids: Vec<UserId> = self.users.iter().map(|u| u.id).collect();
+            self.store.partitioned_users(&ids)
+        } else {
+            Vec::new()
+        };
+        let partitioned = &partitioned;
         // Parallel per-user simulation of the whole interval's collection.
         let ingest_scope = self.telemetry.stage_scope(stage::UDT_INGEST);
-        let stats = pool.for_each_mut(&mut self.users, |_, user| {
+        let stats = pool.for_each_mut(&mut self.users, |i, user| {
+            let cut_off = partitioned.get(i).copied().unwrap_or(false);
             let mut t = start;
             for _ in 0..steps {
                 t += tick;
@@ -541,7 +614,9 @@ impl Simulation {
                             user.tracker.mark_preference(t);
                         }
                     }
-                    Some(rt) => faulty_user_tick(user, rt, store, policy, t, tick, snr, pos),
+                    Some(rt) => {
+                        faulty_user_tick(user, rt, store, policy, t, tick, snr, pos, cut_off)
+                    }
                 }
             }
         });
@@ -608,6 +683,9 @@ impl Simulation {
             .counter("fault_reports_total", "rejected")
             .add(counts.rejected);
         self.telemetry
+            .counter("fault_reports_total", "overflowed")
+            .add(counts.overflowed);
+        self.telemetry
             .counter("fault_retries_total", "uplink")
             .add(retried);
         self.telemetry.emit(Event::FaultsInjected {
@@ -617,6 +695,7 @@ impl Simulation {
             corrupted: counts.corrupted,
             rejected: counts.rejected,
             retried,
+            overflowed: counts.overflowed,
         });
     }
 
@@ -1021,7 +1100,37 @@ fn faulty_user_tick(
     tick: SimDuration,
     snr: f64,
     pos: Position,
+    partitioned: bool,
 ) {
+    if partitioned {
+        // The shard's uplink is severed: nothing — fresh or queued —
+        // reaches the twin, and every due report takes the loss/retry
+        // path so the PR-3 degradation ladder engages. Buffered delayed
+        // reports stay queued and replay once the partition heals.
+        let t_ms = t.as_millis();
+        if user.tracker.channel_due(policy, t) {
+            user.faults.counts.lost += 1;
+            user.faults
+                .events
+                .push((t_ms, Attribute::Channel, "partition"));
+            user.tracker.mark_channel_lost(t, &rt.retry);
+        }
+        if user.tracker.location_due(policy, t) {
+            user.faults.counts.lost += 1;
+            user.faults
+                .events
+                .push((t_ms, Attribute::Location, "partition"));
+            user.tracker.mark_location_lost(t, &rt.retry);
+        }
+        if user.tracker.preference_due(policy, t) {
+            user.faults.counts.lost += 1;
+            user.faults
+                .events
+                .push((t_ms, Attribute::Preference, "partition"));
+            user.tracker.mark_preference_lost(t, &rt.retry);
+        }
+        return;
+    }
     // Delayed reports that are now due reach the twin late, carrying their
     // original sample timestamps (so staleness accounting sees the gap).
     for (sampled_at, v) in user.faults.delayed_channel.drain_due(t) {
@@ -1059,7 +1168,7 @@ fn faulty_user_tick(
                 user.faults.events.push((t_ms, Attribute::Channel, "delay"));
                 if !user.faults.delayed_channel.push(t + tick * n, t, snr) {
                     // Queue overflow: the report never arrives.
-                    user.faults.counts.lost += 1;
+                    user.faults.counts.overflowed += 1;
                 }
                 user.tracker.mark_channel(t);
             }
@@ -1100,7 +1209,7 @@ fn faulty_user_tick(
                     .events
                     .push((t_ms, Attribute::Location, "delay"));
                 if !user.faults.delayed_location.push(t + tick * n, t, pos) {
-                    user.faults.counts.lost += 1;
+                    user.faults.counts.overflowed += 1;
                 }
                 user.tracker.mark_location(t);
             }

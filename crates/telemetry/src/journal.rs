@@ -64,6 +64,7 @@ pub enum Event {
         corrupted: u64,
         rejected: u64,
         retried: u64,
+        overflowed: u64,
     },
     /// A scheduled churn burst replaced part of the population.
     ChurnBurst { interval: u64, replaced: u64 },
@@ -74,6 +75,24 @@ pub enum Event {
         interval: u64,
         coverage: f64,
         margin: f64,
+    },
+    /// A shard went down (crash or partition). `failed_over` counts the
+    /// twins migrated to live neighbours (crash only);
+    /// `checkpoint_bytes` is the size of the boundary checkpoint.
+    ShardDown {
+        interval: u64,
+        shard: u64,
+        mode: String,
+        failed_over: u64,
+        checkpoint_bytes: u64,
+    },
+    /// A shard came back at the end of its outage window. `recovered`
+    /// counts the users in the checkpoint anchoring the resync.
+    ShardRestored {
+        interval: u64,
+        shard: u64,
+        mode: String,
+        recovered: u64,
     },
 }
 
@@ -96,6 +115,8 @@ impl Event {
             Event::ChurnBurst { .. } => "ChurnBurst",
             Event::BrownoutApplied { .. } => "BrownoutApplied",
             Event::PredictionDegraded { .. } => "PredictionDegraded",
+            Event::ShardDown { .. } => "ShardDown",
+            Event::ShardRestored { .. } => "ShardRestored",
         }
     }
 
@@ -177,6 +198,7 @@ impl Event {
                 corrupted,
                 rejected,
                 retried,
+                overflowed,
             } => vec![
                 ("interval", Json::Num(*interval as f64)),
                 ("lost", Json::Num(*lost as f64)),
@@ -184,6 +206,7 @@ impl Event {
                 ("corrupted", Json::Num(*corrupted as f64)),
                 ("rejected", Json::Num(*rejected as f64)),
                 ("retried", Json::Num(*retried as f64)),
+                ("overflowed", Json::Num(*overflowed as f64)),
             ],
             Event::ChurnBurst { interval, replaced } => vec![
                 ("interval", Json::Num(*interval as f64)),
@@ -204,6 +227,30 @@ impl Event {
                 ("interval", Json::Num(*interval as f64)),
                 ("coverage", Json::Num(*coverage)),
                 ("margin", Json::Num(*margin)),
+            ],
+            Event::ShardDown {
+                interval,
+                shard,
+                mode,
+                failed_over,
+                checkpoint_bytes,
+            } => vec![
+                ("interval", Json::Num(*interval as f64)),
+                ("shard", Json::Num(*shard as f64)),
+                ("mode", Json::Str(mode.clone())),
+                ("failed_over", Json::Num(*failed_over as f64)),
+                ("checkpoint_bytes", Json::Num(*checkpoint_bytes as f64)),
+            ],
+            Event::ShardRestored {
+                interval,
+                shard,
+                mode,
+                recovered,
+            } => vec![
+                ("interval", Json::Num(*interval as f64)),
+                ("shard", Json::Num(*shard as f64)),
+                ("mode", Json::Str(mode.clone())),
+                ("recovered", Json::Num(*recovered as f64)),
             ],
         }
     }
@@ -278,6 +325,7 @@ impl Event {
                 corrupted: int("corrupted")?,
                 rejected: int("rejected")?,
                 retried: int("retried")?,
+                overflowed: int("overflowed")?,
             },
             "ChurnBurst" => Event::ChurnBurst {
                 interval: int("interval")?,
@@ -291,6 +339,19 @@ impl Event {
                 interval: int("interval")?,
                 coverage: num("coverage")?,
                 margin: num("margin")?,
+            },
+            "ShardDown" => Event::ShardDown {
+                interval: int("interval")?,
+                shard: int("shard")?,
+                mode: text("mode")?,
+                failed_over: int("failed_over")?,
+                checkpoint_bytes: int("checkpoint_bytes")?,
+            },
+            "ShardRestored" => Event::ShardRestored {
+                interval: int("interval")?,
+                shard: int("shard")?,
+                mode: text("mode")?,
+                recovered: int("recovered")?,
             },
             other => return Err(format!("unknown event '{other}'")),
         })
@@ -589,6 +650,7 @@ mod tests {
                 corrupted: 1,
                 rejected: 1,
                 retried: 6,
+                overflowed: 2,
             },
             Event::ChurnBurst {
                 interval: 2,
@@ -602,6 +664,19 @@ mod tests {
                 interval: 2,
                 coverage: 0.6,
                 margin: 1.2,
+            },
+            Event::ShardDown {
+                interval: 2,
+                shard: 1,
+                mode: "crash".into(),
+                failed_over: 25,
+                checkpoint_bytes: 4096,
+            },
+            Event::ShardRestored {
+                interval: 4,
+                shard: 1,
+                mode: "crash".into(),
+                recovered: 25,
             },
         ];
         for event in variants {

@@ -232,11 +232,40 @@ impl Parser<'_> {
                     }
                     self.pos += 1;
                 }
+                Some(b) if b < 0x80 => {
+                    // Bulk-consume a run of plain ASCII; validating from
+                    // `pos` to end-of-input per character is quadratic on
+                    // megabyte-scale documents (checkpoint lines).
+                    let start = self.pos;
+                    while self
+                        .peek()
+                        .is_some_and(|b| b != b'"' && b != b'\\' && b < 0x80)
+                    {
+                        self.pos += 1;
+                    }
+                    out.push_str(
+                        std::str::from_utf8(&self.bytes[start..self.pos])
+                            .expect("ascii bytes are valid utf-8"),
+                    );
+                }
                 Some(_) => {
-                    // Consume one full UTF-8 character.
-                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
-                        .map_err(|_| "invalid utf-8 in string".to_string())?;
-                    let c = rest.chars().next().unwrap();
+                    // Decode one multi-byte UTF-8 character from a bounded
+                    // window (a code point is at most four bytes).
+                    let end = (self.pos + 4).min(self.bytes.len());
+                    let c = match std::str::from_utf8(&self.bytes[self.pos..end]) {
+                        Ok(s) => s.chars().next().unwrap(),
+                        // A trailing char may leave a partial neighbour in
+                        // the window; valid_up_to > 0 means the first char
+                        // itself decoded cleanly.
+                        Err(e) if e.valid_up_to() > 0 => {
+                            std::str::from_utf8(&self.bytes[self.pos..self.pos + e.valid_up_to()])
+                                .expect("validated prefix")
+                                .chars()
+                                .next()
+                                .unwrap()
+                        }
+                        Err(_) => return Err("invalid utf-8 in string".to_string()),
+                    };
                     out.push(c);
                     self.pos += c.len_utf8();
                 }

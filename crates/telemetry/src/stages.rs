@@ -54,6 +54,10 @@ pub const SHARD_AGGREGATE: &str = "shard_aggregate";
 /// One shard's slice of a sharded sweep (span-only child; the batch
 /// attribute carries the shard index).
 pub const SHARD_SLICE: &str = "shard_slice";
+/// A shard going down (checkpoint capture + crash failover sweep).
+pub const SHARD_OUTAGE: &str = "shard_outage";
+/// A shard coming back (checkpoint-anchored recovery resync).
+pub const SHARD_RESTORE: &str = "shard_restore";
 
 /// Every stage name, for exhaustive report tables and schema checks.
 pub const ALL: &[&str] = &[
@@ -79,6 +83,8 @@ pub const ALL: &[&str] = &[
     SHARD_GATHER,
     SHARD_AGGREGATE,
     SHARD_SLICE,
+    SHARD_OUTAGE,
+    SHARD_RESTORE,
 ];
 
 #[cfg(test)]

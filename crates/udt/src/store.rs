@@ -132,6 +132,29 @@ impl UdtStore {
         Self::write(self.shard(user)).remove(&user)
     }
 
+    /// The next instance nonce this store would stamp. Captured by shard
+    /// checkpoints so a restored store never reissues a nonce an earlier
+    /// incarnation already handed out.
+    pub fn next_instance(&self) -> u64 {
+        self.next_instance.load(Ordering::Relaxed)
+    }
+
+    /// Restores the instance-nonce counter from a checkpoint. Only moves
+    /// the counter forward — a stale checkpoint can never rewind it into
+    /// reissuing live nonces.
+    pub fn restore_next_instance(&self, next: u64) {
+        self.next_instance.fetch_max(next, Ordering::Relaxed);
+    }
+
+    /// Removes every twin, leaving the instance counter untouched (a
+    /// crashed shard's store is wiped, not rebuilt, so its nonce namespace
+    /// stays monotone across the outage).
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            Self::write(shard).clear();
+        }
+    }
+
     /// Whether a twin exists for `user`.
     pub fn contains(&self, user: UserId) -> bool {
         Self::read(self.shard(user)).contains_key(&user)
@@ -346,6 +369,24 @@ mod tests {
         let stamped = dest.with_twin(UserId(9), |t| t.revision()).unwrap();
         assert_eq!(stamped.instance, 1 << 40);
         assert_ne!(stamped.instance, after.instance);
+    }
+
+    #[test]
+    fn clear_keeps_the_instance_counter_monotone() {
+        let store = UdtStore::with_instance_base(100);
+        store.insert(UserDigitalTwin::new(UserId(1)));
+        store.insert(UserDigitalTwin::new(UserId(2)));
+        assert_eq!(store.next_instance(), 102);
+        store.clear();
+        assert!(store.is_empty());
+        assert_eq!(store.next_instance(), 102, "clear must not rewind nonces");
+        store.restore_next_instance(150);
+        assert_eq!(store.next_instance(), 150);
+        store.restore_next_instance(120);
+        assert_eq!(store.next_instance(), 150, "restore never rewinds");
+        store.insert(UserDigitalTwin::new(UserId(3)));
+        let rev = store.with_twin(UserId(3), |t| t.revision()).unwrap();
+        assert_eq!(rev.instance, 150);
     }
 
     #[test]

@@ -5,6 +5,7 @@
 //! [`SyncTracker`] decides, per tick, which attributes are due and counts
 //! the uplink signalling this costs (ablated in experiment E4).
 
+use msvs_telemetry::Json;
 use msvs_types::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 
@@ -245,6 +246,75 @@ impl SyncTracker {
         self.last_preference = Some(now);
         self.retry_preference.schedule(now, policy);
     }
+
+    /// Serialises the tracker's full state for a shard checkpoint —
+    /// including in-flight retry episodes, so a restored shard resumes
+    /// the bounded-backoff replay exactly where the checkpoint left it.
+    pub fn checkpoint_json(&self) -> Json {
+        let opt_time = |t: Option<SimTime>| t.map_or(Json::Null, |t| Json::Num(t.0 as f64));
+        let retry = |r: &RetryState| {
+            Json::obj([
+                ("next_ms", opt_time(r.next)),
+                ("attempts", Json::Num(f64::from(r.attempts))),
+            ])
+        };
+        Json::obj([
+            ("last_channel_ms", opt_time(self.last_channel)),
+            ("last_location_ms", opt_time(self.last_location)),
+            ("last_preference_ms", opt_time(self.last_preference)),
+            ("updates_sent", Json::Num(self.updates_sent as f64)),
+            ("retries_sent", Json::Num(self.retries_sent as f64)),
+            ("retry_channel", retry(&self.retry_channel)),
+            ("retry_location", retry(&self.retry_location)),
+            ("retry_preference", retry(&self.retry_preference)),
+        ])
+    }
+
+    /// Rebuilds a tracker from [`Self::checkpoint_json`] output.
+    ///
+    /// # Errors
+    /// Returns a message naming the first malformed or missing field.
+    pub fn from_checkpoint_json(json: &Json) -> Result<Self, String> {
+        let opt_time = |k: &str| match json.get(k) {
+            None | Some(Json::Null) => Ok(None),
+            Some(v) => v
+                .as_u64()
+                .map(|t| Some(SimTime(t)))
+                .ok_or_else(|| format!("tracker: '{k}' must be an integer or null")),
+        };
+        let int = |k: &str| {
+            json.get(k)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("tracker: missing integer field '{k}'"))
+        };
+        let retry = |k: &str| -> Result<RetryState, String> {
+            let obj = json
+                .get(k)
+                .ok_or_else(|| format!("tracker: missing object field '{k}'"))?;
+            let next = match obj.get("next_ms") {
+                None | Some(Json::Null) => None,
+                Some(v) => Some(SimTime(v.as_u64().ok_or_else(|| {
+                    format!("tracker: '{k}.next_ms' must be an integer or null")
+                })?)),
+            };
+            let attempts = obj
+                .get("attempts")
+                .and_then(Json::as_u64)
+                .and_then(|n| u32::try_from(n).ok())
+                .ok_or_else(|| format!("tracker: '{k}.attempts' must be an integer"))?;
+            Ok(RetryState { next, attempts })
+        };
+        Ok(Self {
+            last_channel: opt_time("last_channel_ms")?,
+            last_location: opt_time("last_location_ms")?,
+            last_preference: opt_time("last_preference_ms")?,
+            updates_sent: int("updates_sent")?,
+            retries_sent: int("retries_sent")?,
+            retry_channel: retry("retry_channel")?,
+            retry_location: retry("retry_location")?,
+            retry_preference: retry("retry_preference")?,
+        })
+    }
 }
 
 fn due(last: Option<SimTime>, every: SimDuration, now: SimTime) -> bool {
@@ -363,6 +433,36 @@ mod tests {
         let p = CollectionPolicy::default().scaled(1e-9);
         p.validate().unwrap();
         assert!(p.channel_every > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn tracker_checkpoint_round_trip_preserves_retry_state() {
+        let mut tracker = SyncTracker::new();
+        let retry = RetryPolicy {
+            max_attempts: 3,
+            backoff: SimDuration::from_secs(2),
+        };
+        tracker.mark_channel(SimTime::from_secs(4));
+        tracker.mark_location_lost(SimTime::from_secs(5), &retry);
+        tracker.mark_location_lost(SimTime::from_secs(7), &retry);
+        tracker.mark_preference_lost(SimTime::from_secs(6), &retry);
+        let text = tracker.checkpoint_json().to_string();
+        let back = SyncTracker::from_checkpoint_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, tracker, "checkpoint round trip must be exact");
+        // The in-flight episode resumes: location retry due at 7 s + 4 s.
+        let policy = CollectionPolicy::default();
+        assert!(!back.location_due(&policy, SimTime::from_secs(10)));
+        assert!(back.retry_location.due(SimTime::from_secs(11)));
+    }
+
+    #[test]
+    fn tracker_checkpoint_decode_names_the_bad_field() {
+        let mut json = SyncTracker::new().checkpoint_json();
+        if let Json::Obj(map) = &mut json {
+            map.remove("retry_channel");
+        }
+        let err = SyncTracker::from_checkpoint_json(&json).unwrap_err();
+        assert!(err.contains("retry_channel"), "{err}");
     }
 
     #[test]

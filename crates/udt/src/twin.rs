@@ -1,6 +1,9 @@
 //! The per-user digital twin.
 
-use msvs_types::{Position, SimDuration, SimTime, UserId, VideoCategory};
+use msvs_telemetry::Json;
+use msvs_types::{
+    Position, RepresentationLevel, SimDuration, SimTime, UserId, VideoCategory, VideoId,
+};
 use serde::{Deserialize, Serialize};
 
 use crate::attribute::{TimeSeries, WatchRecord};
@@ -374,6 +377,172 @@ impl UserDigitalTwin {
             preference: self.preference.iter().map(|&p| p as f32).collect(),
         }
     }
+
+    /// Serialises the twin's full state for a shard checkpoint.
+    ///
+    /// Every private field is captured — including the instance nonce and
+    /// the per-attribute revision counters, which count *accepted pushes
+    /// ever* (evicted samples included) and therefore cannot be rebuilt by
+    /// replaying the retained series. `f64` payloads survive the text
+    /// round trip exactly (Rust's shortest-representation `Display`).
+    pub fn checkpoint_json(&self) -> Json {
+        let time = |t: SimTime| Json::Num(t.as_millis() as f64);
+        let opt_time = |t: Option<SimTime>| t.map_or(Json::Null, time);
+        Json::obj([
+            ("user", Json::Num(f64::from(self.user.0))),
+            ("instance", Json::Num(self.instance as f64)),
+            (
+                "revs",
+                Json::Arr(vec![
+                    Json::Num(self.channel_rev as f64),
+                    Json::Num(self.location_rev as f64),
+                    Json::Num(self.watch_rev as f64),
+                    Json::Num(self.preference_rev as f64),
+                ]),
+            ),
+            (
+                "preference",
+                Json::Arr(self.preference.iter().map(|&p| Json::Num(p)).collect()),
+            ),
+            ("preference_updated_ms", opt_time(self.preference_updated)),
+            (
+                "channel",
+                Json::Arr(
+                    self.channel_db
+                        .iter()
+                        .map(|&(t, v)| Json::Arr(vec![time(t), Json::Num(v)]))
+                        .collect(),
+                ),
+            ),
+            (
+                "location",
+                Json::Arr(
+                    self.location
+                        .iter()
+                        .map(|&(t, p)| Json::Arr(vec![time(t), Json::Num(p.x), Json::Num(p.y)]))
+                        .collect(),
+                ),
+            ),
+            (
+                "watches",
+                Json::Arr(
+                    self.watches
+                        .iter()
+                        .map(|(t, w)| {
+                            Json::obj([
+                                ("t_ms", time(*t)),
+                                ("video", Json::Num(f64::from(w.video.0))),
+                                ("category", Json::Num(w.category.index() as f64)),
+                                ("level", Json::Num(w.level.index() as f64)),
+                                ("watched_ms", Json::Num(w.watched.as_millis() as f64)),
+                                (
+                                    "duration_ms",
+                                    Json::Num(w.video_duration.as_millis() as f64),
+                                ),
+                                ("completed", Json::Bool(w.completed)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Rebuilds a twin from [`Self::checkpoint_json`] output.
+    ///
+    /// # Errors
+    /// Returns a message naming the first malformed or missing field.
+    pub fn from_checkpoint_json(json: &Json) -> std::result::Result<Self, String> {
+        let int = |k: &str| {
+            json.get(k)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("twin: missing integer field '{k}'"))
+        };
+        let arr = |k: &str| match json.get(k) {
+            Some(Json::Arr(items)) => Ok(items),
+            _ => Err(format!("twin: missing array field '{k}'")),
+        };
+        let user =
+            UserId(u32::try_from(int("user")?).map_err(|_| "twin: user out of range".to_string())?);
+        let mut twin = Self::new(user);
+        twin.instance = int("instance")?;
+        let revs = arr("revs")?;
+        if revs.len() != 4 {
+            return Err("twin: revs must hold four counters".into());
+        }
+        let rev = |i: usize| {
+            revs[i]
+                .as_u64()
+                .ok_or_else(|| format!("twin: revs[{i}] must be an integer"))
+        };
+        twin.channel_rev = rev(0)?;
+        twin.location_rev = rev(1)?;
+        twin.watch_rev = rev(2)?;
+        twin.preference_rev = rev(3)?;
+        twin.preference = arr("preference")?
+            .iter()
+            .map(|v| {
+                v.as_f64()
+                    .ok_or_else(|| "twin: preference entries must be numbers".to_string())
+            })
+            .collect::<std::result::Result<Vec<f64>, String>>()?;
+        if twin.preference.len() != VideoCategory::COUNT {
+            return Err("twin: preference must hold one mass per category".into());
+        }
+        twin.preference_updated = match json.get("preference_updated_ms") {
+            None | Some(Json::Null) => None,
+            Some(v) => Some(SimTime(v.as_u64().ok_or_else(|| {
+                "twin: preference_updated_ms must be an integer".to_string()
+            })?)),
+        };
+        for (i, item) in arr("channel")?.iter().enumerate() {
+            let Json::Arr(pair) = item else {
+                return Err(format!("twin: channel[{i}] must be [t_ms, snr_db]"));
+            };
+            let (Some(t), Some(v)) = (
+                pair.first().and_then(Json::as_u64),
+                pair.get(1).and_then(Json::as_f64),
+            ) else {
+                return Err(format!("twin: channel[{i}] must be [t_ms, snr_db]"));
+            };
+            twin.channel_db.push(SimTime(t), v);
+        }
+        for (i, item) in arr("location")?.iter().enumerate() {
+            let Json::Arr(triple) = item else {
+                return Err(format!("twin: location[{i}] must be [t_ms, x, y]"));
+            };
+            let (Some(t), Some(x), Some(y)) = (
+                triple.first().and_then(Json::as_u64),
+                triple.get(1).and_then(Json::as_f64),
+                triple.get(2).and_then(Json::as_f64),
+            ) else {
+                return Err(format!("twin: location[{i}] must be [t_ms, x, y]"));
+            };
+            twin.location.push(SimTime(t), Position::new(x, y));
+        }
+        for (i, item) in arr("watches")?.iter().enumerate() {
+            let field = |k: &str| {
+                item.get(k)
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| format!("twin: watches[{i}].{k} must be an integer"))
+            };
+            let record = WatchRecord {
+                video: VideoId(
+                    u32::try_from(field("video")?)
+                        .map_err(|_| format!("twin: watches[{i}].video out of range"))?,
+                ),
+                category: VideoCategory::from_index(field("category")? as usize)
+                    .ok_or_else(|| format!("twin: watches[{i}].category unknown"))?,
+                level: RepresentationLevel::from_index(field("level")? as usize)
+                    .ok_or_else(|| format!("twin: watches[{i}].level unknown"))?,
+                watched: SimDuration(field("watched_ms")?),
+                video_duration: SimDuration(field("duration_ms")?),
+                completed: matches!(item.get("completed"), Some(Json::Bool(true))),
+            };
+            twin.watches.push(SimTime(field("t_ms")?), record);
+        }
+        Ok(twin)
+    }
 }
 
 #[cfg(test)]
@@ -512,6 +681,43 @@ mod tests {
         // Clones carry the key; a fresh twin for the same user differs
         // once instances are stamped (store-level concern).
         assert_eq!(twin.clone().revision(), twin.revision());
+    }
+
+    #[test]
+    fn checkpoint_round_trip_is_lossless() {
+        let mut twin = UserDigitalTwin::new(UserId(42));
+        twin.set_instance((3u64 << 40) | 17);
+        for i in 0..20u64 {
+            twin.update_channel(SimTime::from_secs(i), -3.5 + i as f64 * 0.731);
+            twin.update_location(
+                SimTime::from_secs(i),
+                Position::new(i as f64 * 13.37, 500.0 - i as f64),
+            );
+            twin.record_watch(
+                SimTime::from_secs(i),
+                watch(VideoCategory::Music, i.min(45), 45),
+            );
+        }
+        // A rejected sample keeps revisions honest: the counters must
+        // survive the round trip even though they exceed what a replay of
+        // the retained series would produce.
+        assert!(!twin.update_channel(SimTime::from_secs(21), f64::NAN));
+        twin.refresh_preference_from_watches(SimTime::from_secs(20), 0.5);
+        let text = twin.checkpoint_json().to_string();
+        let back = UserDigitalTwin::from_checkpoint_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, twin, "checkpoint round trip must be bit-exact");
+        assert_eq!(back.revision(), twin.revision());
+    }
+
+    #[test]
+    fn checkpoint_decode_names_the_bad_field() {
+        let twin = UserDigitalTwin::new(UserId(1));
+        let mut json = twin.checkpoint_json();
+        if let Json::Obj(map) = &mut json {
+            map.remove("revs");
+        }
+        let err = UserDigitalTwin::from_checkpoint_json(&json).unwrap_err();
+        assert!(err.contains("revs"), "{err}");
     }
 }
 

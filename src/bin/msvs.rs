@@ -5,6 +5,8 @@
 //!          [--per-bs] [--predictor scheme|naive|ewma] [--threads N] [--shards N]
 //!          [--backend scalar|simd|int8] [--silhouette-cap N]
 //!          [--faults PROFILE] [--csv PATH] [--journal PATH] [--trace PATH]
+//! msvs checkpoint [run flags] [--out PATH]
+//! msvs checkpoint --restore <checkpoint.jsonl>
 //! msvs report <journal.jsonl>
 //! msvs bench-report [--seed S] [--users N] [--intervals N] [--threads N]
 //!          [--shards N] [--backend scalar|simd|int8] [--out PATH]
@@ -19,6 +21,7 @@ use std::process::ExitCode;
 
 use msvs::core::ReservationPolicy;
 use msvs::faults::FaultPlan;
+use msvs::shard::{Shard, ShardCheckpoint};
 use msvs::sim::{
     bench_backend_name, report, run_bench, validate_bench_json, BackendKind, BenchOptions,
     DemandPredictorKind, Simulation, SimulationConfig, SimulationReport,
@@ -31,6 +34,7 @@ fn main() -> ExitCode {
     let command = args.first().map(String::as_str).unwrap_or("help");
     let result = match command {
         "run" => cmd_run(&args[1..]),
+        "checkpoint" => cmd_checkpoint(&args[1..]),
         "report" => cmd_report(&args[1..]),
         "bench-report" => cmd_bench_report(&args[1..]),
         "bench-compare" => cmd_bench_compare(&args[1..]),
@@ -61,6 +65,9 @@ fn print_help() {
          \x20              [--shards N] [--backend scalar|simd|int8]\n\
          \x20              [--silhouette-cap N] [--faults PROFILE] [--csv PATH]\n\
          \x20              [--journal PATH] [--trace PATH]\n\
+         \x20 msvs checkpoint [run flags] [--out PATH] run, then snapshot every\n\
+         \x20                                          shard as versioned JSON\n\
+         \x20 msvs checkpoint --restore <PATH>         reload + verify a snapshot\n\
          \x20 msvs report  <journal.jsonl>             summarise a run's journal\n\
          \x20 msvs bench-report [--seed S] [--users N] [--intervals N] [--threads N]\n\
          \x20              [--shards N] [--backend scalar|simd|int8] [--out PATH]\n\
@@ -86,7 +93,14 @@ fn print_help() {
          `--silhouette-cap N` caps silhouette scoring at N sampled users\n\
          (0 disables sampling; default 4096).\n\
          `--faults PROFILE` injects uplink faults from a built-in profile\n\
-         ({}) or a JSON file (see results/fault_profiles/).\n\
+         ({}) or a JSON file (see results/fault_profiles/). Profiles may\n\
+         schedule shard outages (`bs-flap`, `bs-crash`): crashed shards\n\
+         fail their users over to live neighbours and restore from their\n\
+         boundary checkpoint; partitioned shards push users into the\n\
+         degradation ladder until the window heals.\n\
+         `checkpoint` runs the same scenario, then snapshots each shard\n\
+         (twins + sync state + embedding keys) as one JSON line; the\n\
+         `--restore` form reloads and verifies such a file offline.\n\
          `--journal` writes the telemetry event journal as JSONL (plus a\n\
          run manifest next to it); `report` pretty-prints such a journal.\n\
          `--trace` writes the run's hierarchical spans as a Chrome-trace\n\
@@ -213,6 +227,20 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
             shards.embeddings_dropped_total,
             shards.peak_imbalance,
         );
+        if shards.outages_total > 0 {
+            let worst = shards
+                .demand
+                .iter()
+                .map(|r| r.availability)
+                .fold(1.0f64, f64::min);
+            println!(
+                "outages: {} | failover handovers {} | checkpoint bytes {} | worst availability {:.1}%",
+                shards.outages_total,
+                shards.failover_handovers_total,
+                shards.checkpoint_bytes_total,
+                100.0 * worst,
+            );
+        }
     }
     println!(
         "radio accuracy {:.2}% | computing accuracy {:.2}% | saving {:.1}% | waste {:.2}%",
@@ -231,11 +259,12 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
                 .map_or(0, |(_, _, v)| *v)
         };
         println!(
-            "faults: lost {} | delayed {} | corrupted {} | rejected {} | retried {}",
+            "faults: lost {} | delayed {} | corrupted {} | rejected {} | overflowed {} | retried {}",
             count("fault_reports_total", "lost"),
             count("fault_reports_total", "delayed"),
             count("fault_reports_total", "corrupted"),
             count("fault_reports_total", "rejected"),
+            count("fault_reports_total", "overflowed"),
             count("fault_retries_total", "uplink"),
         );
         let coverage = result
@@ -277,6 +306,87 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         std::fs::write(path, format!("{trace}\n")).map_err(|e| e.to_string())?;
         println!("wrote {path} (open in https://ui.perfetto.dev or chrome://tracing)");
     }
+    Ok(())
+}
+
+/// `msvs checkpoint`: run the scenario to completion and snapshot every
+/// shard's twin registry (plus sync-tracker state and cached-embedding
+/// keys) as one versioned JSON checkpoint per line; `--restore PATH`
+/// instead reloads such a file into fresh shards and verifies it.
+fn cmd_checkpoint(args: &[String]) -> Result<(), String> {
+    let flags = Flags::new(args)?;
+    if flags.has("--restore") {
+        let path = flags
+            .value("--restore")
+            .ok_or("--restore requires a path")?;
+        return restore_checkpoint(path);
+    }
+    let mut cfg = base_config(&flags)?;
+    if flags.has("--faults") {
+        let raw = flags.value("--faults").ok_or("--faults requires a value")?;
+        cfg.faults = Some(resolve_faults(raw)?);
+        cfg.validate().map_err(|e| e.to_string())?;
+    }
+    let n_intervals = cfg.n_intervals;
+    let mut sim = Simulation::new(cfg).map_err(|e| e.to_string())?;
+    sim.warm_up().map_err(|e| e.to_string())?;
+    for i in 0..n_intervals {
+        sim.run_interval(i).map_err(|e| e.to_string())?;
+    }
+    let checkpoints = sim.checkpoint_shards();
+    let out = flags.value("--out").unwrap_or("checkpoint.jsonl");
+    let mut text = String::new();
+    for ckpt in &checkpoints {
+        text.push_str(&ckpt.to_json().to_string());
+        text.push('\n');
+    }
+    std::fs::write(out, &text).map_err(|e| e.to_string())?;
+    let twins: usize = checkpoints.iter().map(ShardCheckpoint::len).sum();
+    println!(
+        "wrote {out}: {} shard checkpoint(s), {} twin(s), {} bytes",
+        checkpoints.len(),
+        twins,
+        text.len(),
+    );
+    Ok(())
+}
+
+/// Reloads a `msvs checkpoint` file into fresh shards and verifies each
+/// restore (twin count, nonce monotonicity) before summarising it.
+fn restore_checkpoint(path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let mut shards = 0usize;
+    let mut twins = 0usize;
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let ckpt = ShardCheckpoint::parse(line).map_err(|e| format!("{path}:{}: {e}", i + 1))?;
+        let shard = Shard::new(ckpt.shard, 1.0);
+        let restored = ckpt.restore_into(&shard);
+        if shard.len() != ckpt.len() || restored.len() != ckpt.len() {
+            return Err(format!(
+                "{path}:{}: restore mismatch: checkpoint holds {} twin(s), shard restored {}",
+                i + 1,
+                ckpt.len(),
+                shard.len(),
+            ));
+        }
+        println!(
+            "shard {}: {} twin(s) at interval {}, next nonce {:#x}, {} cached embedding key(s)",
+            ckpt.shard,
+            ckpt.len(),
+            ckpt.interval,
+            ckpt.next_instance,
+            ckpt.embedding_keys.len(),
+        );
+        shards += 1;
+        twins += ckpt.len();
+    }
+    if shards == 0 {
+        return Err(format!("{path}: no checkpoints found"));
+    }
+    println!("{path}: restored and verified {twins} twin(s) across {shards} shard(s)");
     Ok(())
 }
 
