@@ -205,6 +205,11 @@ pub struct SimulationConfig {
     /// the simulation bit-identical to a fault-free run; a live plan also
     /// enables the scheme's graceful-degradation ladder.
     pub faults: Option<msvs_faults::FaultPlan>,
+    /// Optional SLO policy judged by the deterministic watchdog at each
+    /// interval boundary (availability/coverage floors, degraded-interval
+    /// budget, wall-clock stage-p99 ceilings). `None` (or an empty
+    /// policy) leaves the simulation bit-identical to an unwatched run.
+    pub slo: Option<msvs_telemetry::SloPolicy>,
     /// Worker threads for the parallel hot paths (per-user collection,
     /// CNN encode, K-means assignment): `1` = serial, `0` = all available
     /// cores. Defaults to the `MSVS_THREADS` environment variable, or `0`.
@@ -258,6 +263,7 @@ impl Default for SimulationConfig {
                 ..EdgeConfig::default()
             },
             faults: None,
+            slo: None,
             threads: default_threads(),
             shards: default_shards(),
             backend: default_backend(),
@@ -314,6 +320,11 @@ impl SimulationConfig {
         self.collection.validate()?;
         if let Some(plan) = &self.faults {
             plan.validate()?;
+        }
+        if let Some(policy) = &self.slo {
+            policy.validate().map_err(|(field, reason)| {
+                Error::invalid_config("slo", format!("{field} {reason}"))
+            })?;
         }
         self.scheme.degradation.validate()?;
         if self.scheme.demand.interval != self.interval {
@@ -470,6 +481,12 @@ impl SimulationConfigBuilder {
     /// Fault-injection plan to run under.
     pub fn faults(mut self, plan: msvs_faults::FaultPlan) -> Self {
         self.config.faults = Some(plan);
+        self
+    }
+
+    /// SLO policy for the deterministic watchdog to judge.
+    pub fn slo(mut self, policy: msvs_telemetry::SloPolicy) -> Self {
+        self.config.slo = Some(policy);
         self
     }
 

@@ -71,6 +71,11 @@ pub struct SimulationReport {
     /// run partitioned into more than one shard; `None` on the legacy
     /// single-shard path.
     pub shards: Option<msvs_shard::ShardSummary>,
+    /// SLO watchdog accounting (per-rule breach intervals, burn rates,
+    /// hard-breach verdict) when the run carried a live policy; `None`
+    /// without one — an empty policy builds no watchdog and leaves the
+    /// report bit-identical to an unwatched run.
+    pub slo: Option<msvs_telemetry::SloReport>,
 }
 
 impl SimulationReport {

@@ -8,7 +8,10 @@ use msvs_faults::{Attribute, DelayQueue, FaultCounts, FaultInjector, FaultPlan, 
 use msvs_mobility::{CampusMap, MobilityModel, RandomWaypoint};
 use msvs_par::Pool;
 use msvs_shard::{HandoverUser, OutagePhase, ShardCoordinator, ShardRouter};
-use msvs_telemetry::{stage, Event, Telemetry};
+use msvs_telemetry::{
+    slo, stage, Event, HealthBoard, HealthSnapshot, ShardHealth, SloEdge, SloSignals, SloWatchdog,
+    Telemetry,
+};
 use msvs_types::{
     CpuCycles, Error, Position, ResourceBlocks, Result, SimDuration, SimTime, UserId,
 };
@@ -127,6 +130,9 @@ pub struct Simulation {
     prev_bs: std::collections::HashMap<UserId, usize>,
     last_outcome: Option<PredictionOutcome>,
     telemetry: Telemetry,
+    slo: Option<SloWatchdog>,
+    slo_breach_edges: u64,
+    health: HealthBoard,
 }
 
 impl std::fmt::Debug for Simulation {
@@ -244,6 +250,13 @@ impl Simulation {
                 },
                 plan,
             });
+        // Same noop guarantee for SLOs: an empty policy builds no
+        // watchdog, so the run is bit-identical to one with `slo: None`.
+        let slo = config
+            .slo
+            .clone()
+            .filter(|p| !p.is_noop())
+            .map(SloWatchdog::new);
         Ok(Self {
             config,
             map,
@@ -266,6 +279,9 @@ impl Simulation {
             prev_bs: std::collections::HashMap::new(),
             last_outcome: None,
             telemetry,
+            slo,
+            slo_breach_edges: 0,
+            health: HealthBoard::new(),
         })
     }
 
@@ -348,6 +364,8 @@ impl Simulation {
         }
         report.telemetry = sim.telemetry.summary();
         report.shards = sim.store.sharded().then(|| sim.store.summary());
+        report.slo = sim.slo_report();
+        sim.finish_health();
         Ok(report)
     }
 
@@ -397,7 +415,135 @@ impl Simulation {
         self.apply_outage_transitions(index as u64);
         self.rebalance_shards();
         self.collect_phase();
-        self.scored_interval(index)
+        let record = self.scored_interval(index)?;
+        self.observe_slo(index as u64, &record);
+        // Periodic gauge samples feed Perfetto counter tracks in trace
+        // exports; the health board feeds `/healthz`. Neither is read
+        // back by the report, so both are observer-effect free.
+        self.telemetry.sample_gauges();
+        self.publish_health("running", index as u64 + 1, &record);
+        Ok(record)
+    }
+
+    /// Feeds the interval's sim-time signals (plus live wall-clock stage
+    /// p99s for any configured ceilings) through the SLO watchdog,
+    /// journalling breach/recovery edges and bumping
+    /// `slo_breaches_total{slo}` per breach.
+    fn observe_slo(&mut self, interval: u64, record: &IntervalRecord) {
+        let Some(watchdog) = self.slo.as_mut() else {
+            return;
+        };
+        let min_shard_availability = self.store.sharded().then(|| {
+            self.store
+                .summary()
+                .demand
+                .iter()
+                .map(|row| row.availability)
+                .fold(f64::INFINITY, f64::min)
+        });
+        let mut stage_p99_ms = std::collections::BTreeMap::new();
+        for stage_name in watchdog.policy().stage_p99_ms.keys() {
+            let p99 = self
+                .telemetry
+                .registry()
+                .histogram(msvs_telemetry::STAGE_MS, stage_name.clone())
+                .quantile(0.99);
+            stage_p99_ms.insert(stage_name.clone(), p99);
+        }
+        let signals = SloSignals {
+            interval,
+            min_shard_availability,
+            twin_coverage: record.twin_coverage,
+            degraded_intervals: self
+                .telemetry
+                .counter("degraded_intervals_total", "all")
+                .get(),
+            stage_p99_ms,
+        };
+        for transition in watchdog.observe(&signals) {
+            match transition.edge {
+                SloEdge::Breached => {
+                    self.slo_breach_edges += 1;
+                    self.telemetry
+                        .counter(slo::SLO_BREACHES_TOTAL, transition.slo.clone())
+                        .inc();
+                    self.telemetry.emit(Event::SloBreached {
+                        interval: transition.interval,
+                        slo: transition.slo,
+                        value: transition.value,
+                        threshold: transition.threshold,
+                    });
+                }
+                SloEdge::Recovered => {
+                    self.telemetry.emit(Event::SloRecovered {
+                        interval: transition.interval,
+                        slo: transition.slo,
+                        value: transition.value,
+                        threshold: transition.threshold,
+                    });
+                }
+            }
+        }
+    }
+
+    /// Publishes the current run health to the board backing `/healthz`.
+    fn publish_health(&self, state: &str, intervals_completed: u64, record: &IntervalRecord) {
+        let shards = if self.store.sharded() {
+            self.store
+                .summary()
+                .demand
+                .iter()
+                .map(|row| ShardHealth {
+                    shard: row.shard as u64,
+                    availability: row.availability,
+                    down_intervals: row.down_intervals,
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+        self.health.publish(HealthSnapshot {
+            state: state.to_string(),
+            intervals_completed,
+            intervals_total: self.config.n_intervals as u64,
+            users: self.users.len() as u64,
+            twin_coverage: record.twin_coverage,
+            degraded: record.degraded,
+            degraded_intervals: self
+                .telemetry
+                .counter("degraded_intervals_total", "all")
+                .get(),
+            shards,
+            slo_breaches: self.slo_breach_edges,
+            slo_breached: self
+                .slo
+                .as_ref()
+                .is_some_and(|w| w.report().rules.iter().any(|r| r.breached_at_end)),
+        });
+    }
+
+    /// The health board backing `/healthz`; hand a clone to
+    /// [`msvs_telemetry::MetricsServer::bind`] to serve it live.
+    pub fn health_board(&self) -> &HealthBoard {
+        &self.health
+    }
+
+    /// Marks the run finished on the health board, keeping the final
+    /// interval's signals visible to late scrapes.
+    pub fn finish_health(&self) {
+        let mut snapshot = self.health.snapshot();
+        snapshot.state = "finished".to_string();
+        self.health.publish(snapshot);
+    }
+
+    /// End-of-run SLO accounting, or `None` without a live policy.
+    pub fn slo_report(&self) -> Option<msvs_telemetry::SloReport> {
+        self.slo.as_ref().map(SloWatchdog::report)
+    }
+
+    /// Whether any SLO rule has burned past the policy's breach budget.
+    pub fn slo_hard_breached(&self) -> bool {
+        self.slo.as_ref().is_some_and(SloWatchdog::hard_breached)
     }
 
     /// Applies the fault plan's shard-outage schedule for this interval

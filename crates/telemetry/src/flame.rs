@@ -1,0 +1,226 @@
+//! Flamegraph export: collapse the span tree into folded stacks.
+//!
+//! Produces the classic `a;b;c <self_us>` "folded" format consumed by
+//! inferno, `flamegraph.pl`, and speedscope. Each line is a root-to-leaf
+//! stack with that frame's **self time** (its duration minus the
+//! duration of its children, clamped at zero, in microseconds), so the
+//! flamegraph shows where time is actually spent rather than
+//! double-counting parents. Identical stacks are merged; output order
+//! is lexicographic, so the export is deterministic for a fixed span
+//! tree.
+//!
+//! Sources: live [`SpanRecord`]s from a run, or a Chrome-trace JSON
+//! file previously written by `msvs run --trace` (the `"X"` events
+//! carry ids and parent links in `args`).
+
+use std::collections::BTreeMap;
+
+use crate::json::Json;
+use crate::span::SpanRecord;
+
+/// One frame of a flame tree, decoupled from the live span types so
+/// traces parsed back from disk use the same path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlameNode {
+    pub id: u64,
+    pub parent: Option<u64>,
+    pub name: String,
+    pub dur_us: u64,
+}
+
+/// Converts live span records into flame nodes.
+pub fn from_spans(spans: &[SpanRecord]) -> Vec<FlameNode> {
+    spans
+        .iter()
+        .map(|s| FlameNode {
+            id: s.id,
+            parent: s.parent,
+            name: s.name.to_string(),
+            dur_us: s.dur_us,
+        })
+        .collect()
+}
+
+/// Extracts flame nodes from a Chrome-trace JSON array written by
+/// [`chrome_trace`](crate::trace::chrome_trace): every `"X"` event's
+/// name, duration, and `args.id`/`args.parent`.
+///
+/// # Errors
+/// Returns a message when the document is not a trace array or an
+/// `"X"` event is missing its id.
+pub fn from_chrome_trace(trace: &Json) -> Result<Vec<FlameNode>, String> {
+    let events = match trace {
+        Json::Arr(events) => events,
+        _ => return Err("trace root must be a JSON array of events".into()),
+    };
+    let mut nodes = Vec::new();
+    for (i, event) in events.iter().enumerate() {
+        if event.get("ph").and_then(Json::as_str) != Some("X") {
+            continue;
+        }
+        let name = event
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("event {i}: missing 'name'"))?
+            .to_string();
+        let dur_us = event
+            .get("dur")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("event {i}: missing numeric 'dur'"))?
+            as u64;
+        let args = event
+            .get("args")
+            .ok_or_else(|| format!("event {i}: missing 'args'"))?;
+        let id = args
+            .get("id")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("event {i}: missing 'args.id'"))?;
+        let parent = args.get("parent").and_then(Json::as_u64);
+        nodes.push(FlameNode {
+            id,
+            parent,
+            name,
+            dur_us,
+        });
+    }
+    if nodes.is_empty() {
+        return Err("trace holds no 'X' (complete) events".into());
+    }
+    Ok(nodes)
+}
+
+/// Collapses `nodes` into folded stacks with self-time rollup. Orphan
+/// parents (a dangling `parent` id) are treated as roots rather than
+/// dropped, so a truncated trace still produces a usable graph.
+pub fn folded_stacks(nodes: &[FlameNode]) -> String {
+    let by_id: BTreeMap<u64, &FlameNode> = nodes.iter().map(|n| (n.id, n)).collect();
+    // Children duration rollup for self time.
+    let mut child_dur: BTreeMap<u64, u64> = BTreeMap::new();
+    for node in nodes {
+        if let Some(parent) = node.parent {
+            if by_id.contains_key(&parent) {
+                *child_dur.entry(parent).or_default() += node.dur_us;
+            }
+        }
+    }
+    let mut folded: BTreeMap<String, u64> = BTreeMap::new();
+    for node in nodes {
+        let self_us = node
+            .dur_us
+            .saturating_sub(child_dur.get(&node.id).copied().unwrap_or(0));
+        if self_us == 0 {
+            continue;
+        }
+        // Walk to the root; a cycle or over-deep chain degrades to a
+        // truncated stack instead of hanging.
+        let mut frames = vec![node.name.as_str()];
+        let mut cursor = node.parent;
+        let mut depth = 0;
+        while let Some(id) = cursor {
+            let Some(parent) = by_id.get(&id) else { break };
+            frames.push(parent.name.as_str());
+            cursor = parent.parent;
+            depth += 1;
+            if depth > 1024 {
+                break;
+            }
+        }
+        frames.reverse();
+        *folded.entry(frames.join(";")).or_default() += self_us;
+    }
+    let mut out = String::new();
+    for (stack, us) in folded {
+        out.push_str(&stack);
+        out.push(' ');
+        out.push_str(&us.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::SpanCollector;
+    use crate::stages;
+    use crate::trace::chrome_trace;
+
+    fn node(id: u64, parent: Option<u64>, name: &str, dur_us: u64) -> FlameNode {
+        FlameNode {
+            id,
+            parent,
+            name: name.to_string(),
+            dur_us,
+        }
+    }
+
+    #[test]
+    fn self_time_subtracts_children_and_merges_stacks() {
+        let nodes = vec![
+            node(0, None, "interval", 100),
+            node(1, Some(0), "collect", 60),
+            node(2, Some(0), "predict", 30),
+            node(3, Some(1), "cnn_forward", 25),
+            // Second interval with an identical shape merges in.
+            node(4, None, "interval", 50),
+            node(5, Some(4), "collect", 50),
+        ];
+        let folded = folded_stacks(&nodes);
+        let lines: Vec<&str> = folded.lines().collect();
+        assert_eq!(
+            lines,
+            vec![
+                "interval 10",
+                "interval;collect 85",
+                "interval;collect;cnn_forward 25",
+                "interval;predict 30",
+            ]
+        );
+    }
+
+    #[test]
+    fn zero_self_frames_are_elided_but_descendants_survive() {
+        let nodes = vec![node(0, None, "root", 10), node(1, Some(0), "leaf", 10)];
+        let folded = folded_stacks(&nodes);
+        assert_eq!(folded, "root;leaf 10\n");
+    }
+
+    #[test]
+    fn dangling_parents_degrade_to_roots() {
+        let nodes = vec![node(7, Some(999), "orphan", 5)];
+        assert_eq!(folded_stacks(&nodes), "orphan 5\n");
+    }
+
+    #[test]
+    fn live_spans_and_reparsed_trace_collapse_identically() {
+        let c = SpanCollector::new();
+        {
+            let _root = c.enter(stages::INTERVAL).with_interval(0);
+            let _child = c.enter(stages::KMEANS_FIT);
+            // Guarantee a non-zero child duration at µs resolution so
+            // the stack survives the zero-self elision.
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        let spans = c.snapshot();
+        let live = folded_stacks(&from_spans(&spans));
+        assert!(live.contains(&format!("{};{}", stages::INTERVAL, stages::KMEANS_FIT)));
+
+        let trace = chrome_trace(&spans, "msvs test");
+        let reparsed = Json::parse(&trace.to_string()).unwrap();
+        let from_trace = folded_stacks(&from_chrome_trace(&reparsed).unwrap());
+        // Chrome export floors durations at 1 µs; both must still hold
+        // the same stacks.
+        let stacks = |s: &str| -> Vec<String> {
+            s.lines()
+                .map(|l| l.rsplit_once(' ').unwrap().0.to_string())
+                .collect()
+        };
+        assert_eq!(stacks(&from_trace), stacks(&live));
+    }
+
+    #[test]
+    fn chrome_parse_rejects_non_traces() {
+        assert!(from_chrome_trace(&Json::Num(1.0)).is_err());
+        assert!(from_chrome_trace(&Json::Arr(vec![])).is_err());
+    }
+}

@@ -94,6 +94,22 @@ pub enum Event {
         mode: String,
         recovered: u64,
     },
+    /// An SLO rule crossed from meeting to breaching its objective at
+    /// an interval boundary. `value` is the observed signal, `threshold`
+    /// the policy bound it violated.
+    SloBreached {
+        interval: u64,
+        slo: String,
+        value: f64,
+        threshold: f64,
+    },
+    /// A previously breached SLO rule returned within its objective.
+    SloRecovered {
+        interval: u64,
+        slo: String,
+        value: f64,
+        threshold: f64,
+    },
 }
 
 impl Event {
@@ -117,6 +133,8 @@ impl Event {
             Event::PredictionDegraded { .. } => "PredictionDegraded",
             Event::ShardDown { .. } => "ShardDown",
             Event::ShardRestored { .. } => "ShardRestored",
+            Event::SloBreached { .. } => "SloBreached",
+            Event::SloRecovered { .. } => "SloRecovered",
         }
     }
 
@@ -252,6 +270,23 @@ impl Event {
                 ("mode", Json::Str(mode.clone())),
                 ("recovered", Json::Num(*recovered as f64)),
             ],
+            Event::SloBreached {
+                interval,
+                slo,
+                value,
+                threshold,
+            }
+            | Event::SloRecovered {
+                interval,
+                slo,
+                value,
+                threshold,
+            } => vec![
+                ("interval", Json::Num(*interval as f64)),
+                ("slo", Json::Str(slo.clone())),
+                ("value", Json::Num(*value)),
+                ("threshold", Json::Num(*threshold)),
+            ],
         }
     }
 
@@ -352,6 +387,18 @@ impl Event {
                 shard: int("shard")?,
                 mode: text("mode")?,
                 recovered: int("recovered")?,
+            },
+            "SloBreached" => Event::SloBreached {
+                interval: int("interval")?,
+                slo: text("slo")?,
+                value: num("value")?,
+                threshold: num("threshold")?,
+            },
+            "SloRecovered" => Event::SloRecovered {
+                interval: int("interval")?,
+                slo: text("slo")?,
+                value: num("value")?,
+                threshold: num("threshold")?,
             },
             other => return Err(format!("unknown event '{other}'")),
         })
@@ -677,6 +724,18 @@ mod tests {
                 shard: 1,
                 mode: "crash".into(),
                 recovered: 25,
+            },
+            Event::SloBreached {
+                interval: 2,
+                slo: "availability".into(),
+                value: 0.75,
+                threshold: 0.95,
+            },
+            Event::SloRecovered {
+                interval: 3,
+                slo: "availability".into(),
+                value: 1.0,
+                threshold: 0.95,
             },
         ];
         for event in variants {

@@ -21,22 +21,27 @@
 //! one-call instrumentation point: one RAII guard feeds both the stage
 //! histogram and the span tree.
 
+pub mod expo;
+pub mod flame;
 mod journal;
 mod json;
 mod manifest;
 mod registry;
+pub mod slo;
 mod span;
 pub mod stages;
 mod timer;
 pub mod trace;
 
+pub use expo::{render_prometheus, HealthBoard, HealthSnapshot, MetricsServer, ShardHealth};
 pub use journal::{Entry, Event, EventJournal, ParseReport};
 pub use json::Json;
 pub use manifest::RunManifest;
 pub use registry::{Counter, Gauge, Histogram, HistogramStats, Registry};
+pub use slo::{SloEdge, SloPolicy, SloReport, SloSignals, SloTransition, SloWatchdog};
 pub use span::{SpanAttrs, SpanCollector, SpanGuard, SpanRecord, SpanScratch, DRIVER_LANE};
 pub use timer::ScopedTimer;
-pub use trace::{chrome_trace, validate_chrome_trace};
+pub use trace::{chrome_trace, chrome_trace_with_counters, validate_chrome_trace, GaugeSample};
 
 /// Back-compat alias for [`stages`] (the constants used to live under
 /// `timer::stage`).
@@ -60,6 +65,7 @@ pub struct Telemetry {
     journal: EventJournal,
     spans: SpanCollector,
     now_ms: std::sync::Arc<std::sync::atomic::AtomicU64>,
+    gauge_samples: std::sync::Arc<std::sync::Mutex<Vec<GaugeSample>>>,
 }
 
 impl Telemetry {
@@ -140,6 +146,35 @@ impl Telemetry {
     /// Records `event` at simulation time `t_ms`.
     pub fn event(&self, t_ms: u64, event: Event) {
         self.journal.record(t_ms, event);
+    }
+
+    /// Snapshots every registered gauge at the current span-collector
+    /// clock into the counter-sample buffer, one [`GaugeSample`] per
+    /// gauge. The driver calls this once per interval so `--trace`
+    /// exports carry Perfetto counter tracks; the buffer never feeds
+    /// [`TelemetrySummary`], so sampling cannot perturb reports.
+    pub fn sample_gauges(&self) {
+        let t_us = self.spans.now_us();
+        let mut buffer = self
+            .gauge_samples
+            .lock()
+            .expect("gauge sample buffer lock poisoned");
+        for (name, label, value) in self.registry.gauge_values() {
+            buffer.push(GaugeSample {
+                t_us,
+                name: name.to_string(),
+                label,
+                value,
+            });
+        }
+    }
+
+    /// Snapshot of every gauge sample recorded so far, in record order.
+    pub fn gauge_samples(&self) -> Vec<GaugeSample> {
+        self.gauge_samples
+            .lock()
+            .expect("gauge sample buffer lock poisoned")
+            .clone()
     }
 
     /// Condenses the registry into a [`TelemetrySummary`].

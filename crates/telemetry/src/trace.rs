@@ -3,8 +3,10 @@
 //! Emits the *JSON array format*: one `"M"` (metadata) event naming the
 //! process and each lane, then one `"X"` (complete) event per span with
 //! microsecond `ts`/`dur` and the span id/parent/attributes under
-//! `args`. Load the file in <https://ui.perfetto.dev> or
-//! `chrome://tracing` directly — no conversion step needed.
+//! `args`, plus optional `"C"` (counter) events turning periodic gauge
+//! samples into Perfetto time-series tracks. Load the file in
+//! <https://ui.perfetto.dev> or `chrome://tracing` directly — no
+//! conversion step needed.
 
 use std::collections::BTreeSet;
 
@@ -14,8 +16,42 @@ use crate::span::{SpanRecord, DRIVER_LANE};
 /// Trace-event category stamped on every span event.
 const CATEGORY: &str = "msvs";
 
+/// One periodic gauge observation destined for a `"C"` counter track.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GaugeSample {
+    /// Microseconds since the span-collector epoch.
+    pub t_us: u64,
+    /// Gauge family name (e.g. `par_utilisation`).
+    pub name: String,
+    /// Free-form label; empty labels render as the bare family name.
+    pub label: String,
+    pub value: f64,
+}
+
+impl GaugeSample {
+    /// The counter-track name this sample lands on.
+    fn track(&self) -> String {
+        if self.label.is_empty() {
+            self.name.clone()
+        } else {
+            format!("{}:{}", self.name, self.label)
+        }
+    }
+}
+
 /// Renders `spans` as a Chrome-trace JSON array.
 pub fn chrome_trace(spans: &[SpanRecord], process_name: &str) -> Json {
+    chrome_trace_with_counters(spans, &[], process_name)
+}
+
+/// Renders `spans` plus periodic gauge `samples` as a Chrome-trace JSON
+/// array: spans become `"X"` slices, each sample a `"C"` counter event
+/// so Perfetto draws gauge time-series tracks alongside the span tree.
+pub fn chrome_trace_with_counters(
+    spans: &[SpanRecord],
+    samples: &[GaugeSample],
+    process_name: &str,
+) -> Json {
     let mut events = Vec::with_capacity(spans.len() + 8);
     events.push(metadata_event(
         "process_name",
@@ -39,7 +75,22 @@ pub fn chrome_trace(spans: &[SpanRecord], process_name: &str) -> Json {
     for span in spans {
         events.push(span_event(span));
     }
+    for sample in samples {
+        events.push(counter_event(sample));
+    }
     Json::Arr(events)
+}
+
+fn counter_event(sample: &GaugeSample) -> Json {
+    Json::obj([
+        ("ph", Json::Str("C".into())),
+        ("cat", Json::Str(CATEGORY.into())),
+        ("name", Json::Str(sample.track())),
+        ("ts", Json::Num(sample.t_us as f64)),
+        ("pid", Json::Num(0.0)),
+        ("tid", Json::Num(DRIVER_LANE as f64)),
+        ("args", Json::obj([("value", Json::Num(sample.value))])),
+    ])
 }
 
 fn metadata_event(name: &str, tid: u32, args: Json) -> Json {
@@ -81,7 +132,8 @@ fn span_event(span: &SpanRecord) -> Json {
 
 /// Validates `trace` against the Chrome-trace array schema this crate
 /// emits: a JSON array whose elements all carry `ph`/`pid`/`tid`/`name`,
-/// where `"X"` events add finite `ts`/`dur` and an `args.id`, and every
+/// where `"X"` events add finite `ts`/`dur` and an `args.id`, `"C"`
+/// events add a finite `ts` and a numeric `args.value`, and every
 /// `args.parent` refers to an `args.id` present in the trace.
 ///
 /// # Errors
@@ -135,6 +187,23 @@ pub fn validate_chrome_trace(trace: &Json) -> Result<(), String> {
                         .as_u64()
                         .ok_or_else(|| format!("event {i}: non-integer 'args.parent'"))?;
                     parents.push((i, parent));
+                }
+            }
+            "C" => {
+                let ts = event
+                    .get("ts")
+                    .and_then(Json::as_f64)
+                    .ok_or_else(|| format!("event {i}: missing numeric 'ts'"))?;
+                if !ts.is_finite() || ts < 0.0 {
+                    return Err(format!("event {i}: 'ts' must be finite and >= 0"));
+                }
+                let value = event
+                    .get("args")
+                    .and_then(|a| a.get("value"))
+                    .and_then(Json::as_f64)
+                    .ok_or_else(|| format!("event {i}: missing numeric 'args.value'"))?;
+                if !value.is_finite() {
+                    return Err(format!("event {i}: 'args.value' must be finite"));
                 }
             }
             other => return Err(format!("event {i}: unknown phase '{other}'")),
@@ -202,6 +271,63 @@ mod tests {
                 .and_then(Json::as_u64),
             Some(0)
         );
+    }
+
+    #[test]
+    fn counter_events_render_and_validate() {
+        let c = SpanCollector::new();
+        {
+            let _root = c.enter(stages::INTERVAL);
+        }
+        let samples = vec![
+            GaugeSample {
+                t_us: 10,
+                name: "par_utilisation".into(),
+                label: stages::UDT_INGEST.into(),
+                value: 0.8,
+            },
+            GaugeSample {
+                t_us: 20,
+                name: "twin_coverage".into(),
+                label: String::new(),
+                value: 0.97,
+            },
+        ];
+        let trace = chrome_trace_with_counters(&c.snapshot(), &samples, "msvs test");
+        validate_chrome_trace(&trace).unwrap();
+        let reparsed = Json::parse(&trace.to_string()).unwrap();
+        validate_chrome_trace(&reparsed).unwrap();
+        let Json::Arr(events) = &reparsed else {
+            panic!("not an array")
+        };
+        let counters: Vec<_> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(Json::as_str) == Some("C"))
+            .collect();
+        assert_eq!(counters.len(), 2);
+        assert_eq!(
+            counters[0].get("name").and_then(Json::as_str),
+            Some(format!("par_utilisation:{}", stages::UDT_INGEST).as_str())
+        );
+        assert_eq!(
+            counters[1]
+                .get("args")
+                .and_then(|a| a.get("value"))
+                .and_then(Json::as_f64),
+            Some(0.97)
+        );
+        // A counter event without a value is rejected.
+        let mut broken = events.clone();
+        broken.push(Json::obj([
+            ("ph", Json::Str("C".into())),
+            ("pid", Json::Num(0.0)),
+            ("tid", Json::Num(0.0)),
+            ("name", Json::Str("broken".into())),
+            ("ts", Json::Num(1.0)),
+            ("args", Json::obj([])),
+        ]));
+        let err = validate_chrome_trace(&Json::Arr(broken)).unwrap_err();
+        assert!(err.contains("args.value"), "{err}");
     }
 
     #[test]

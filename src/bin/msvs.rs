@@ -4,13 +4,16 @@
 //! msvs run [--users N] [--intervals N] [--seed S] [--churn F]
 //!          [--per-bs] [--predictor scheme|naive|ewma] [--threads N] [--shards N]
 //!          [--backend scalar|simd|int8] [--silhouette-cap N]
-//!          [--faults PROFILE] [--csv PATH] [--journal PATH] [--trace PATH]
+//!          [--faults PROFILE] [--slo POLICY] [--serve-metrics ADDR]
+//!          [--csv PATH] [--journal PATH] [--trace PATH]
 //! msvs checkpoint [run flags] [--out PATH]
 //! msvs checkpoint --restore <checkpoint.jsonl>
 //! msvs report <journal.jsonl>
+//! msvs flame <trace.json> [--out PATH]
+//! msvs flame [run flags] [--out PATH]
 //! msvs bench-report [--seed S] [--users N] [--intervals N] [--threads N]
 //!          [--shards N] [--backend scalar|simd|int8] [--out PATH]
-//! msvs bench-compare <baseline.json> <candidate.json>
+//! msvs bench-compare <baseline.json> <candidate.json> [--gate PCT]
 //! msvs swiping [--users N] [--seed S]
 //! msvs reserve [--headroom F] [--users N] [--seed S]
 //! msvs help
@@ -26,7 +29,10 @@ use msvs::sim::{
     bench_backend_name, report, run_bench, validate_bench_json, BackendKind, BenchOptions,
     DemandPredictorKind, Simulation, SimulationConfig, SimulationReport,
 };
-use msvs::telemetry::{chrome_trace, Event, EventJournal, RunManifest};
+use msvs::telemetry::{
+    chrome_trace_with_counters, flame, Event, EventJournal, Json, MetricsServer, RunManifest,
+    SloPolicy,
+};
 use msvs::types::VideoCategory;
 
 fn main() -> ExitCode {
@@ -36,6 +42,7 @@ fn main() -> ExitCode {
         "run" => cmd_run(&args[1..]),
         "checkpoint" => cmd_checkpoint(&args[1..]),
         "report" => cmd_report(&args[1..]),
+        "flame" => cmd_flame(&args[1..]),
         "bench-report" => cmd_bench_report(&args[1..]),
         "bench-compare" => cmd_bench_compare(&args[1..]),
         "swiping" => cmd_swiping(&args[1..]),
@@ -63,16 +70,19 @@ fn print_help() {
          \x20 msvs run     [--users N] [--intervals N] [--seed S] [--churn F]\n\
          \x20              [--per-bs] [--predictor scheme|naive|ewma] [--threads N]\n\
          \x20              [--shards N] [--backend scalar|simd|int8]\n\
-         \x20              [--silhouette-cap N] [--faults PROFILE] [--csv PATH]\n\
+         \x20              [--silhouette-cap N] [--faults PROFILE] [--slo POLICY]\n\
+         \x20              [--serve-metrics ADDR] [--csv PATH]\n\
          \x20              [--journal PATH] [--trace PATH]\n\
          \x20 msvs checkpoint [run flags] [--out PATH] run, then snapshot every\n\
          \x20                                          shard as versioned JSON\n\
          \x20 msvs checkpoint --restore <PATH>         reload + verify a snapshot\n\
          \x20 msvs report  <journal.jsonl>             summarise a run's journal\n\
+         \x20 msvs flame   <trace.json | run flags> [--out PATH]\n\
+         \x20                                          folded stacks for flamegraphs\n\
          \x20 msvs bench-report [--seed S] [--users N] [--intervals N] [--threads N]\n\
          \x20              [--shards N] [--backend scalar|simd|int8] [--out PATH]\n\
          \x20                                          perf baseline as JSON\n\
-         \x20 msvs bench-compare <baseline.json> <candidate.json>\n\
+         \x20 msvs bench-compare <baseline.json> <candidate.json> [--gate PCT]\n\
          \x20                                          stage-latency delta table\n\
          \x20 msvs swiping [--users N] [--seed S]      print a group's swipe curves\n\
          \x20 msvs reserve [--headroom F] [--users N] [--seed S]\n\
@@ -98,6 +108,17 @@ fn print_help() {
          fail their users over to live neighbours and restore from their\n\
          boundary checkpoint; partitioned shards push users into the\n\
          degradation ladder until the window heals.\n\
+         `--slo POLICY` arms the deterministic SLO watchdog from a\n\
+         built-in policy ({}) or a JSON file (see results/slo_profiles/);\n\
+         the run exits non-zero when any rule burns past its breach\n\
+         budget. `--serve-metrics ADDR` serves live Prometheus text\n\
+         exposition on http://ADDR/metrics and a JSON health snapshot on\n\
+         /healthz while the run executes; the server is read-only, so\n\
+         seeded results are bit-identical with it on or off.\n\
+         `flame` collapses a Chrome-trace file (or a fresh run's spans)\n\
+         into inferno-style folded stacks for `inferno-flamegraph`.\n\
+         `bench-compare --gate PCT` exits non-zero when any shared\n\
+         stage's p50 regresses by more than PCT percent.\n\
          `checkpoint` runs the same scenario, then snapshots each shard\n\
          (twins + sync state + embedding keys) as one JSON line; the\n\
          `--restore` form reloads and verifies such a file offline.\n\
@@ -107,7 +128,8 @@ fn print_help() {
          JSON file (open in Perfetto or chrome://tracing).\n\
          `bench-report` runs a pinned-seed baseline and writes stage\n\
          percentiles, throughput, and peak RSS as machine-readable JSON.",
-        FaultPlan::BUILTINS.join(", ")
+        FaultPlan::BUILTINS.join(", "),
+        SloPolicy::BUILTINS.join(", ")
     );
 }
 
@@ -190,12 +212,27 @@ fn resolve_faults(raw: &str) -> Result<FaultPlan, String> {
     FaultPlan::parse(&text).map_err(|e| format!("{raw}: {e}"))
 }
 
+/// Resolves `--slo` to a policy: a built-in name first, then a JSON
+/// policy file path.
+fn resolve_slo(raw: &str) -> Result<SloPolicy, String> {
+    if let Some(policy) = SloPolicy::builtin(raw) {
+        return Ok(policy);
+    }
+    let text = std::fs::read_to_string(raw).map_err(|e| {
+        format!(
+            "--slo `{raw}` is neither a built-in policy ({}) nor a readable file: {e}",
+            SloPolicy::BUILTINS.join(", ")
+        )
+    })?;
+    SloPolicy::parse(&text).map_err(|e| format!("{raw}: {e}"))
+}
+
 fn cmd_run(args: &[String]) -> Result<(), String> {
     let flags = Flags::new(args)?;
     // Fail before the (long) run rather than silently dropping the export.
-    for export in ["--journal", "--trace"] {
+    for export in ["--journal", "--trace", "--serve-metrics", "--slo"] {
         if flags.has(export) && flags.value(export).is_none() {
-            return Err(format!("{export} requires a path"));
+            return Err(format!("{export} requires a value"));
         }
     }
     let mut cfg = base_config(&flags)?;
@@ -204,11 +241,32 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         cfg.faults = Some(resolve_faults(raw)?);
         cfg.validate().map_err(|e| e.to_string())?;
     }
+    if let Some(raw) = flags.value("--slo") {
+        cfg.slo = Some(resolve_slo(raw)?);
+        cfg.validate().map_err(|e| e.to_string())?;
+    }
     let with_faults = cfg.faults.as_ref().is_some_and(|p| !p.is_noop());
     let (n_users, n_intervals, seed) = (cfg.n_users, cfg.n_intervals, cfg.seed);
     // Drive the intervals by hand (rather than `Simulation::run`) so the
     // telemetry handle stays reachable for the journal export below.
     let mut sim = Simulation::new(cfg).map_err(|e| e.to_string())?;
+    // The metrics server reads shared telemetry/health handles; it never
+    // writes, so the run itself is untouched by scrapes.
+    let mut server = match flags.value("--serve-metrics") {
+        Some(addr) => {
+            let s = MetricsServer::bind(
+                addr,
+                sim.telemetry().registry().clone(),
+                sim.health_board().clone(),
+            )?;
+            println!(
+                "serving http://{0}/metrics and http://{0}/healthz",
+                s.addr()
+            );
+            Some(s)
+        }
+        None => None,
+    };
     sim.warm_up().map_err(|e| e.to_string())?;
     let mut result = SimulationReport::default();
     for i in 0..n_intervals {
@@ -218,6 +276,8 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     }
     result.telemetry = sim.telemetry().summary();
     result.shards = sim.store().sharded().then(|| sim.store().summary());
+    result.slo = sim.slo_report();
+    sim.finish_health();
     println!("{}", report::interval_table(&result));
     if let Some(shards) = &result.shards {
         println!(
@@ -281,6 +341,31 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
             delta,
         );
     }
+    if let Some(slo) = &result.slo {
+        println!(
+            "slo: {} rule(s), breach budget {} interval(s), {} interval(s) evaluated",
+            slo.rules.len(),
+            slo.breach_budget,
+            slo.intervals_evaluated,
+        );
+        for rule in &slo.rules {
+            let worst = rule
+                .worst_value
+                .map_or_else(|| "n/a".into(), |v| format!("{v:.4}"));
+            println!(
+                "  {:<24} breached {:>3} interval(s) | burn rate {:>5.2} | worst {}{}",
+                rule.slo,
+                rule.breach_intervals,
+                rule.burn_rate,
+                worst,
+                if rule.breached_at_end {
+                    " | BREACHED at end"
+                } else {
+                    ""
+                },
+            );
+        }
+    }
     if let Some(path) = flags.value("--csv") {
         std::fs::write(path, report::to_csv(&result)).map_err(|e| e.to_string())?;
         println!("wrote {path}");
@@ -302,9 +387,68 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         println!("wrote {path} and {manifest_path}");
     }
     if let Some(path) = flags.value("--trace") {
-        let trace = chrome_trace(&sim.telemetry().spans(), "msvs run");
+        // Counter events ride along so Perfetto shows gauge time-series
+        // tracks (twin coverage, shard availability) under the spans.
+        let trace = chrome_trace_with_counters(
+            &sim.telemetry().spans(),
+            &sim.telemetry().gauge_samples(),
+            "msvs run",
+        );
         std::fs::write(path, format!("{trace}\n")).map_err(|e| e.to_string())?;
         println!("wrote {path} (open in https://ui.perfetto.dev or chrome://tracing)");
+    }
+    if let Some(server) = server.as_mut() {
+        server.stop();
+    }
+    // Exports above still land before a hard breach flips the exit code,
+    // so CI keeps the evidence.
+    if sim.slo_hard_breached() {
+        return Err("slo hard breach: at least one rule burned past its breach budget".into());
+    }
+    Ok(())
+}
+
+/// `msvs flame`: collapse a Chrome-trace JSON file (first positional
+/// argument) — or the span tree of a fresh run driven by the usual run
+/// flags — into inferno-compatible folded stacks, one `stack count`
+/// line per unique stack with self-time in microseconds.
+fn cmd_flame(args: &[String]) -> Result<(), String> {
+    let flags = Flags::new(args)?;
+    let trace_path = args
+        .first()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str);
+    let folded = match trace_path {
+        Some(path) => {
+            let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            let doc = Json::parse(&text).map_err(|e| format!("{path}: invalid JSON: {e}"))?;
+            let nodes = flame::from_chrome_trace(&doc).map_err(|e| format!("{path}: {e}"))?;
+            flame::folded_stacks(&nodes)
+        }
+        None => {
+            let cfg = base_config(&flags)?;
+            let n_intervals = cfg.n_intervals;
+            let mut sim = Simulation::new(cfg).map_err(|e| e.to_string())?;
+            sim.warm_up().map_err(|e| e.to_string())?;
+            for i in 0..n_intervals {
+                sim.run_interval(i).map_err(|e| e.to_string())?;
+            }
+            let nodes = flame::from_spans(&sim.telemetry().spans());
+            flame::folded_stacks(&nodes)
+        }
+    };
+    if folded.is_empty() {
+        return Err("no spans with non-zero self time to collapse".into());
+    }
+    match flags.value("--out") {
+        Some(path) => {
+            std::fs::write(path, &folded).map_err(|e| e.to_string())?;
+            println!(
+                "wrote {path}: {} folded stack(s) (feed to inferno-flamegraph)",
+                folded.lines().count()
+            );
+        }
+        None => print!("{folded}"),
     }
     Ok(())
 }
@@ -430,15 +574,38 @@ fn cmd_bench_report(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-/// `msvs bench-compare <baseline> <candidate>`: print a stage-latency
-/// delta table between two bench documents. Informational —
-/// always exits 0 on well-formed inputs; regressions are for humans (or
-/// CI log readers) to judge, since shared runners are too noisy to gate
-/// on.
+/// `msvs bench-compare <baseline> <candidate> [--gate PCT]`: print a
+/// stage-latency delta table between two bench documents. Without
+/// `--gate` the comparison is informational and always exits 0 on
+/// well-formed inputs; with it, any shared stage whose p50 regressed by
+/// more than PCT percent fails the command, so CI can gate on a
+/// threshold generous enough to ride out shared-runner noise.
 fn cmd_bench_compare(args: &[String]) -> Result<(), String> {
+    let flags = Flags::new(args)?;
+    let gate: Option<f64> = match flags.value("--gate") {
+        Some(raw) => {
+            let pct: f64 = raw
+                .parse()
+                .map_err(|_| format!("invalid value `{raw}` for --gate"))?;
+            if !pct.is_finite() || pct < 0.0 {
+                return Err(format!(
+                    "--gate must be a non-negative percent, got `{raw}`"
+                ));
+            }
+            Some(pct)
+        }
+        None => None,
+    };
     let (base_path, cand_path) = match args {
-        [a, b] => (a.as_str(), b.as_str()),
-        _ => return Err("usage: msvs bench-compare <baseline.json> <candidate.json>".into()),
+        [a, b] if !a.starts_with("--") && !b.starts_with("--") => (a.as_str(), b.as_str()),
+        [a, b, g, _] if g == "--gate" && !a.starts_with("--") && !b.starts_with("--") => {
+            (a.as_str(), b.as_str())
+        }
+        _ => {
+            return Err(
+                "usage: msvs bench-compare <baseline.json> <candidate.json> [--gate PCT]".into(),
+            )
+        }
     };
     let load = |path: &str| -> Result<msvs::telemetry::Json, String> {
         let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
@@ -476,11 +643,22 @@ fn cmd_bench_compare(args: &[String]) -> Result<(), String> {
     );
     let names: std::collections::BTreeSet<_> =
         base_stages.keys().chain(cand_stages.keys()).collect();
+    let mut regressions: Vec<String> = Vec::new();
     for name in names {
         let (b, c) = (base_stages.get(name), cand_stages.get(name));
         let delta = stage_delta(b, c);
         let fmt = |v: Option<&f64>| v.map_or("-".to_string(), |v| format!("{v:.4}"));
         println!("{:<22} {:>12} {:>12} {:>9}", name, fmt(b), fmt(c), delta);
+        // Only stages present in both documents can regress; `new` and
+        // `gone` rows reflect config changes, not latency drift.
+        if let (Some(gate), Some(b), Some(c)) = (gate, b, c) {
+            if *b > 0.0 {
+                let pct = (c - b) / b * 100.0;
+                if pct > gate {
+                    regressions.push(format!("{name} p50 {pct:+.1}% (gate {gate:.1}%)"));
+                }
+            }
+        }
     }
     for key in ["throughput_user_intervals_per_s", "peak_rss_kb"] {
         let (b, c) = (
@@ -490,6 +668,12 @@ fn cmd_bench_compare(args: &[String]) -> Result<(), String> {
         if let (Some(b), Some(c)) = (b, c) {
             println!("{key}: {b:.1} -> {c:.1}");
         }
+    }
+    if !regressions.is_empty() {
+        return Err(format!(
+            "stage p50 regression beyond gate: {}",
+            regressions.join("; ")
+        ));
     }
     Ok(())
 }
@@ -581,6 +765,95 @@ fn cmd_report(args: &[String]) -> Result<(), String> {
         .map(|(name, n)| vec![name.to_string(), n.to_string()])
         .collect();
     println!("{}", report::format_table(&["event", "count"], &rows));
+
+    // Per-shard availability from the outage events. A `ShardDown` at
+    // interval `d` answered by a `ShardRestored` at interval `r` means
+    // the shard missed intervals `d..r`; an unanswered `ShardDown` is
+    // down through the end of the run.
+    let total_intervals = entries
+        .iter()
+        .filter(|e| matches!(e.event, Event::IntervalCompleted { .. }))
+        .count() as u64;
+    let mut shard_rows: BTreeMap<u64, (u64, u64, Option<u64>)> = BTreeMap::new();
+    for e in &entries {
+        match &e.event {
+            Event::ShardDown {
+                interval, shard, ..
+            } => {
+                let row = shard_rows.entry(*shard).or_insert((0, 0, None));
+                row.0 += 1;
+                row.2 = Some(*interval);
+            }
+            Event::ShardRestored {
+                interval, shard, ..
+            } => {
+                let row = shard_rows.entry(*shard).or_insert((0, 0, None));
+                if let Some(down_at) = row.2.take() {
+                    row.1 += interval.saturating_sub(down_at);
+                }
+            }
+            _ => {}
+        }
+    }
+    if !shard_rows.is_empty() {
+        let rows: Vec<Vec<String>> = shard_rows
+            .iter()
+            .map(|(shard, (outages, closed_down, open))| {
+                let down =
+                    closed_down + open.map_or(0, |down_at| total_intervals.saturating_sub(down_at));
+                let availability = if total_intervals == 0 {
+                    1.0
+                } else {
+                    1.0 - down as f64 / total_intervals as f64
+                };
+                vec![
+                    shard.to_string(),
+                    outages.to_string(),
+                    down.to_string(),
+                    format!("{:.1}%", 100.0 * availability),
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            report::format_table(
+                &["shard", "outages", "down intervals", "availability"],
+                &rows
+            )
+        );
+    }
+
+    // SLO breach/recovery timeline.
+    let rows: Vec<Vec<String>> = entries
+        .iter()
+        .filter_map(|e| match &e.event {
+            Event::SloBreached {
+                interval,
+                slo,
+                value,
+                threshold,
+            }
+            | Event::SloRecovered {
+                interval,
+                slo,
+                value,
+                threshold,
+            } => Some(vec![
+                interval.to_string(),
+                e.event.name().to_string(),
+                slo.clone(),
+                format!("{value:.4}"),
+                format!("{threshold:.4}"),
+            ]),
+            _ => None,
+        })
+        .collect();
+    if !rows.is_empty() {
+        println!(
+            "{}",
+            report::format_table(&["interval", "edge", "slo", "value", "threshold"], &rows)
+        );
+    }
 
     // Per-interval outcomes.
     let rows: Vec<Vec<String>> = entries
@@ -799,6 +1072,28 @@ mod tests {
         assert_eq!(cfg.scheme.grouping.silhouette_sample_cap, 0);
         let raw = args(&["--silhouette-cap", "lots"]);
         assert!(base_config(&Flags::new(&raw).unwrap()).is_err());
+    }
+
+    #[test]
+    fn resolve_slo_accepts_builtins_and_profiles() {
+        for name in SloPolicy::BUILTINS {
+            assert!(resolve_slo(name).is_ok(), "{name} must resolve");
+        }
+        assert!(resolve_slo("no-such-policy").is_err());
+        let path = std::env::temp_dir().join("msvs-cli-slo-test.json");
+        let json = SloPolicy::builtin("lenient").unwrap().to_json().to_string();
+        std::fs::write(&path, json).unwrap();
+        let policy = resolve_slo(path.to_str().unwrap()).unwrap();
+        assert_eq!(policy, SloPolicy::builtin("lenient").unwrap());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn bench_compare_rejects_bad_gate_values() {
+        let raw = args(&["a.json", "b.json", "--gate", "plenty"]);
+        assert!(cmd_bench_compare(&raw).is_err());
+        let raw = args(&["a.json", "b.json", "--gate", "-5"]);
+        assert!(cmd_bench_compare(&raw).is_err());
     }
 
     #[test]
