@@ -1,0 +1,130 @@
+//! E15 (extension): incremental interval pipeline — warm-start K-means,
+//! dirty-set encoding and the drift-gated DDQN versus the exact pipeline,
+//! swept over per-interval churn.
+//!
+//! For each churn level the same seeded scenario runs twice (exact and
+//! incremental) and the table reports the mean predictor wall per
+//! interval, the K-means rounds the warm start saved, the fraction of
+//! users re-encoded per interval, how many DDQN selections the drift
+//! gate skipped, and the radio-accuracy delta between the two modes.
+//! Accuracy loss is pinned below one percentage point: incremental mode
+//! is a bounded approximation, not a different predictor.
+//!
+//! ```text
+//! cargo run --release -p msvs-bench --bin exp_incremental
+//! ```
+
+use msvs_bench::{mean_std, paper_scenario};
+use msvs_sim::{Simulation, SimulationReport};
+
+/// Sums a counter across labels.
+fn counter(r: &SimulationReport, name: &str) -> u64 {
+    r.telemetry
+        .counters
+        .iter()
+        .filter(|(n, _, _)| n == name)
+        .map(|(_, _, v)| v)
+        .sum()
+}
+
+struct ModeRun {
+    acc: Vec<f64>,
+    wall: Vec<f64>,
+    rounds_saved: u64,
+    dirty: u64,
+    skipped_users: u64,
+    gated: u64,
+}
+
+fn run_mode(churn: f64, incremental: bool, seeds: &[u64]) -> ModeRun {
+    let mut out = ModeRun {
+        acc: Vec::new(),
+        wall: Vec::new(),
+        rounds_saved: 0,
+        dirty: 0,
+        skipped_users: 0,
+        gated: 0,
+    };
+    for &s in seeds {
+        let cfg = msvs_sim::SimulationConfig {
+            churn_rate: churn,
+            incremental,
+            ..paper_scenario(120, 10, s)
+        };
+        let r = Simulation::run(cfg).expect("simulation runs");
+        out.acc.push(100.0 * r.mean_radio_accuracy());
+        out.wall.push(r.mean_predict_wall_ms());
+        out.rounds_saved += counter(&r, "kmeans_warm_rounds_saved");
+        out.dirty += counter(&r, "encode_dirty_users");
+        out.skipped_users += counter(&r, "encode_skipped_users");
+        out.gated += counter(&r, "ddqn_selections_skipped_total");
+    }
+    out
+}
+
+fn main() {
+    let seeds = [7u64, 42, 99];
+    println!("# E15 — incremental interval pipeline vs exact, by churn");
+    println!(
+        "{:>8} {:>6} {:>18} {:>10} {:>8} {:>8} {:>6} {:>9}",
+        "churn", "mode", "radio acc (%)", "wall ms", "saved", "dirty%", "gated", "acc delta"
+    );
+    for churn in [0.0, 0.05, 0.2] {
+        let exact = run_mode(churn, false, &seeds);
+        let fast = run_mode(churn, true, &seeds);
+        let (ea, easd) = mean_std(&exact.acc);
+        let (fa, fasd) = mean_std(&fast.acc);
+        let (ew, _) = mean_std(&exact.wall);
+        let (fw, _) = mean_std(&fast.wall);
+        let delta = fa - ea;
+        let encoded = fast.dirty + fast.skipped_users;
+        let dirty_pct = if encoded > 0 {
+            100.0 * fast.dirty as f64 / encoded as f64
+        } else {
+            100.0
+        };
+        println!(
+            "{:>7.0}% {:>6} {ea:>13.1}±{easd:<4.1} {ew:>10.2} {:>8} {:>8} {:>6} {:>9}",
+            100.0 * churn,
+            "exact",
+            exact.rounds_saved,
+            "-",
+            exact.gated,
+            "-"
+        );
+        println!(
+            "{:>7.0}% {:>6} {fa:>13.1}±{fasd:<4.1} {fw:>10.2} {:>8} {dirty_pct:>7.1}% {:>6} {delta:>+8.2}p",
+            100.0 * churn,
+            "incr",
+            fast.rounds_saved,
+            fast.gated
+        );
+        // The approximation must not *cost* accuracy; landing above the
+        // exact pipeline (steadier groupings under churn) is fine.
+        assert!(
+            -delta < 1.0,
+            "incremental accuracy fell {:.2}pp below exact at churn {churn}",
+            -delta
+        );
+        assert!(
+            fast.rounds_saved > 0,
+            "warm start saved no K-means rounds at churn {churn}"
+        );
+        // The skip guarantee holds below the drift-dirty threshold (0.1);
+        // above it the detector deliberately degrades to full refreshes
+        // to bound staleness, so dirty% approaching 100 is by design.
+        if churn > 0.0 && churn < 0.1 {
+            assert!(
+                fast.skipped_users > fast.dirty,
+                "incremental mode must skip most re-encodes at churn {churn}"
+            );
+        }
+    }
+    println!(
+        "\n# expectation: incremental mode loses <1pp radio accuracy at every\n\
+         # churn level. Below the drift-dirty threshold it re-encodes only\n\
+         # the churned fraction and skips DDQN re-selection on quiet\n\
+         # intervals; above it the drift detector degrades to full refreshes\n\
+         # (dirty% -> 100) so staleness stays bounded instead of compounding."
+    );
+}

@@ -19,6 +19,20 @@ const PAR_MIN_POINTS: usize = 256;
 /// relative), orders of magnitude inside this margin.
 const BOUND_SLACK: f64 = 1e-9;
 
+/// How the initial centroids of a [`KMeans`] fit are chosen.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub enum Init {
+    /// K-means++ seeding from the configured RNG seed (the default).
+    #[default]
+    KMeansPP,
+    /// Warm start: seed Lloyd from these centroids (typically the
+    /// previous fit's result on a slowly-drifting population). The warm
+    /// set must hold exactly `k` centroids of the points' dimension;
+    /// on any shape mismatch the fit falls back to k-means++ seeding,
+    /// so a stale warm set degrades to a cold fit, never an error.
+    Warm(Vec<Vec<f64>>),
+}
+
 /// Configuration for a [`KMeans`] run.
 #[derive(Debug, Clone)]
 pub struct KMeansConfig {
@@ -41,6 +55,9 @@ pub struct KMeansConfig {
     /// the (slack-guarded) bounds prove the full scan could not have
     /// moved it.
     pub bounded: bool,
+    /// Initial-centroid strategy (see [`Init`]). The default k-means++
+    /// seeding reproduces the historical behaviour bit for bit.
+    pub init: Init,
 }
 
 impl Default for KMeansConfig {
@@ -52,6 +69,7 @@ impl Default for KMeansConfig {
             seed: 0,
             threads: 1,
             bounded: true,
+            init: Init::KMeansPP,
         }
     }
 }
@@ -87,6 +105,10 @@ pub struct KMeansResult {
     /// unnecessary, out of the `iterations * n * k` a plain Lloyd sweep
     /// would perform. `0` when [`KMeansConfig::bounded`] is off.
     pub distance_evals_skipped: u64,
+    /// Whether Lloyd actually started from [`Init::Warm`] centroids —
+    /// `false` when k-means++ seeding ran, including the fallback for a
+    /// shape-mismatched warm set.
+    pub warm_started: bool,
 }
 
 impl KMeansResult {
@@ -230,8 +252,21 @@ impl KMeans {
         }
 
         let n = points.len();
+        // The RNG is constructed unconditionally so a warm start leaves
+        // the empty-cluster-repair fallback stream identical to a cold
+        // fit's.
         let mut rng = StdRng::seed_from_u64(self.config.seed);
-        let mut centroids = self.seed_centroids(points, &mut rng);
+        let warm = match &self.config.init {
+            Init::Warm(seeds) if seeds.len() == k && seeds.iter().all(|c| c.len() == dim) => {
+                Some(seeds.clone())
+            }
+            _ => None,
+        };
+        let warm_started = warm.is_some();
+        let mut centroids = match warm {
+            Some(seeds) => seeds,
+            None => self.seed_centroids(points, &mut rng),
+        };
         let mut assignments = vec![0usize; n];
         let mut iterations = 0;
         let mut converged = false;
@@ -358,6 +393,7 @@ impl KMeans {
             converged,
             rounds,
             distance_evals_skipped,
+            warm_started,
         })
     }
 
@@ -658,6 +694,88 @@ mod tests {
             Some(2)
         );
         assert_eq!(farthest_from_own_centroid(&[], &centroids, &[]), None);
+    }
+
+    #[test]
+    fn warm_start_on_unchanged_points_matches_converged_cold_fit() {
+        // Property sweep: re-fitting an unchanged point set warm-started
+        // from the converged centroids must (a) converge in at most two
+        // Lloyd rounds — the seeds are already the fixed point — and
+        // (b) reproduce the cold fit's assignments exactly.
+        type Blob = (&'static [(f64, f64)], usize, f64);
+        let shapes: &[Blob] = &[
+            (&[(0.0, 0.0), (10.0, 0.0), (0.0, 10.0)], 40, 0.4),
+            (&[(0.0, 0.0), (3.0, 3.0)], 60, 1.2),
+            (&[(0.0, 0.0), (4.0, 0.0), (8.0, 0.0), (12.0, 0.0)], 25, 0.9),
+        ];
+        for (si, &(centers, per, spread)) in shapes.iter().enumerate() {
+            for k in [2usize, 3, 5] {
+                for seed in [0u64, 7, 23] {
+                    let pts = blobs(centers, per, spread, seed.wrapping_add(si as u64 * 31));
+                    let cold = KMeans::new(KMeansConfig {
+                        k,
+                        seed,
+                        ..Default::default()
+                    })
+                    .fit(&pts)
+                    .unwrap();
+                    let warm = KMeans::new(KMeansConfig {
+                        k,
+                        seed,
+                        init: Init::Warm(cold.centroids.clone()),
+                        ..Default::default()
+                    })
+                    .fit(&pts)
+                    .unwrap();
+                    let tag = format!("shape={si} k={k} seed={seed}");
+                    assert!(warm.warm_started, "{tag}");
+                    assert!(
+                        warm.iterations <= 2,
+                        "{tag}: warm fit took {} rounds",
+                        warm.iterations
+                    );
+                    assert!(warm.converged, "{tag}");
+                    assert_eq!(warm.assignments, cold.assignments, "{tag}");
+                    assert_eq!(warm.centroids, cold.centroids, "{tag}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stale_warm_set_falls_back_to_kmeanspp() {
+        let pts = blobs(&[(0.0, 0.0), (10.0, 0.0), (0.0, 10.0)], 30, 0.3, 7);
+        let cold = KMeans::new(KMeansConfig {
+            k: 3,
+            seed: 3,
+            ..Default::default()
+        })
+        .fit(&pts)
+        .unwrap();
+        // A warm set from a different K (count mismatch) and one from a
+        // different feature space (dimension mismatch): both must fall
+        // back to k-means++ and reproduce the cold fit bit for bit —
+        // the fallback consumes the same RNG stream the cold fit does.
+        let stale_count = Init::Warm(vec![vec![0.0, 0.0]; 2]);
+        let stale_dim = Init::Warm(vec![vec![0.0]; 3]);
+        for (name, init) in [("count", stale_count), ("dim", stale_dim)] {
+            let fallback = KMeans::new(KMeansConfig {
+                k: 3,
+                seed: 3,
+                init,
+                ..Default::default()
+            })
+            .fit(&pts)
+            .unwrap();
+            assert!(!fallback.warm_started, "stale {name}");
+            assert_eq!(fallback.assignments, cold.assignments, "stale {name}");
+            assert_eq!(fallback.centroids, cold.centroids, "stale {name}");
+            assert_eq!(
+                fallback.inertia.to_bits(),
+                cold.inertia.to_bits(),
+                "stale {name}"
+            );
+        }
     }
 
     #[test]

@@ -28,7 +28,7 @@ pub mod kmeanspp;
 pub mod metrics;
 
 pub use baselines::{elbow_k, random_assignments, silhouette_scan_k};
-pub use kmeanspp::{KMeans, KMeansConfig, KMeansResult, RoundTiming};
+pub use kmeanspp::{Init, KMeans, KMeansConfig, KMeansResult, RoundTiming};
 pub use metrics::{
     adjusted_rand_index, davies_bouldin, inertia, rand_index, silhouette, silhouette_sampled,
 };

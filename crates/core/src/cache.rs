@@ -50,6 +50,15 @@ pub trait EmbeddingBackend: std::fmt::Debug + Send {
     /// `generation` (see [`EmbeddingCache::plan`]).
     fn plan(&mut self, generation: u64, twins: &[UserDigitalTwin]) -> CachePlan;
 
+    /// Incremental-mode split: a deliberately coarser criterion than
+    /// [`plan`](Self::plan) (see [`EmbeddingCache::plan_incremental`]).
+    fn plan_incremental(
+        &mut self,
+        generation: u64,
+        twins: &[UserDigitalTwin],
+        dirty: &HashSet<UserId>,
+    ) -> CachePlan;
+
     /// Stores fresh encodings for `plan`'s misses and returns the full
     /// feature matrix in snapshot order (see [`EmbeddingCache::complete`]).
     fn complete(
@@ -63,6 +72,15 @@ pub trait EmbeddingBackend: std::fmt::Debug + Send {
 impl EmbeddingBackend for EmbeddingCache {
     fn plan(&mut self, generation: u64, twins: &[UserDigitalTwin]) -> CachePlan {
         EmbeddingCache::plan(self, generation, twins)
+    }
+
+    fn plan_incremental(
+        &mut self,
+        generation: u64,
+        twins: &[UserDigitalTwin],
+        dirty: &HashSet<UserId>,
+    ) -> CachePlan {
+        EmbeddingCache::plan_incremental(self, generation, twins, dirty)
     }
 
     fn complete(
@@ -183,6 +201,48 @@ impl EmbeddingCache {
                 self.entries
                     .get(&t.user())
                     .is_none_or(|e| e.revision != t.revision())
+            })
+            .map(|(i, _)| i)
+            .collect();
+        let hits = twins.len() - miss_indices.len();
+        CachePlan { miss_indices, hits }
+    }
+
+    /// Incremental-mode split: a deliberately *coarser* criterion than
+    /// [`plan`](Self::plan). In a live run every twin's channel revision
+    /// bumps each interval from routine uplink samples, so exact revision
+    /// matching re-encodes the whole population; incremental mode instead
+    /// re-encodes a user only when
+    ///
+    /// - no entry is cached (cold start, eviction, a handover whose
+    ///   mid-flight report was lost, or crash failover), or
+    /// - the compressor generation changed (retraining invalidates all), or
+    /// - the cached entry's *instance* nonce differs from the twin's (a
+    ///   churned slot is a brand-new user — their encoding must never be
+    ///   served the predecessor's features), or
+    /// - the user is in the caller's explicit `dirty` set (churned this
+    ///   interval, or owned by a shard that just restored from an outage
+    ///   checkpoint).
+    ///
+    /// Everything else reuses the cached (slightly stale) encoding — a
+    /// bounded approximation that trades sub-interval feature drift for
+    /// skipping the CNN forward pass, measured by experiment E15.
+    pub fn plan_incremental(
+        &mut self,
+        generation: u64,
+        twins: &[UserDigitalTwin],
+        dirty: &HashSet<UserId>,
+    ) -> CachePlan {
+        self.sync_generation(generation);
+        let miss_indices: Vec<usize> = twins
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| {
+                dirty.contains(&t.user())
+                    || self
+                        .entries
+                        .get(&t.user())
+                        .is_none_or(|e| e.revision.instance != t.revision().instance)
             })
             .map(|(i, _)| i)
             .collect();
@@ -334,6 +394,45 @@ mod tests {
         };
         assert!(!dest.put(9, UserId(5), stale), "generation mismatch");
         assert_eq!(dest.len(), 1);
+    }
+
+    #[test]
+    fn incremental_plan_serves_stale_revisions() {
+        let mut cache = EmbeddingCache::new();
+        let mut twins = vec![twin(0), twin(1)];
+        let plan = cache.plan(1, &twins);
+        cache.complete(&twins, &plan, rows(2));
+        // Routine channel sample: the exact plan misses, the incremental
+        // plan keeps serving the (slightly stale) cached encoding.
+        twins[0].update_channel(SimTime::from_secs(2), 4.0);
+        let none = HashSet::new();
+        assert_eq!(cache.plan(1, &twins).miss_indices, vec![0]);
+        let plan = cache.plan_incremental(1, &twins, &none);
+        assert!(plan.miss_indices.is_empty());
+        assert_eq!(plan.hits, 2);
+    }
+
+    #[test]
+    fn incremental_plan_misses_on_instance_dirty_and_generation() {
+        let mut cache = EmbeddingCache::new();
+        let twins = vec![twin(0), twin(1)];
+        let plan = cache.plan(1, &twins);
+        cache.complete(&twins, &plan, rows(2));
+        let none = HashSet::new();
+        // Churned slot: the cached entry carries the predecessor's
+        // instance nonce, so the successor twin must re-encode.
+        let mut entry = cache.take(UserId(0)).unwrap();
+        entry.revision.instance = 99;
+        cache.put(1, UserId(0), entry);
+        let plan = cache.plan_incremental(1, &twins, &none);
+        assert_eq!(plan.miss_indices, vec![0]);
+        // Explicit dirty set: re-encode even with a matching entry.
+        let dirty: HashSet<UserId> = [UserId(1)].into();
+        let plan = cache.plan_incremental(1, &twins, &dirty);
+        assert_eq!(plan.miss_indices, vec![0, 1]);
+        // Generation change still invalidates everything.
+        let plan = cache.plan_incremental(2, &twins, &none);
+        assert_eq!(plan.miss_indices, vec![0, 1]);
     }
 
     #[test]

@@ -25,7 +25,7 @@ const BENCH_SCHEMA_V1: &str = "msvs-bench/v1";
 
 /// Knobs of a bench run. The defaults are the pinned baseline shape;
 /// `threads: 0` resolves to all cores (recorded in the output).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BenchOptions {
     /// RNG seed (pinned so run-to-run work is identical).
     pub seed: u64,
@@ -41,6 +41,15 @@ pub struct BenchOptions {
     /// `MSVS_BACKEND` env default) so a bench document always records the
     /// backend it actually ran.
     pub backend: BackendKind,
+    /// Per-interval user churn in `[0, 1]` (fraction of users replaced
+    /// with fresh arrivals each interval). `0` keeps the historical
+    /// bench shape.
+    pub churn: f64,
+    /// Run the incremental interval pipeline (dirty-set encode,
+    /// warm-start K-means, drift-gated DDQN). Explicit — not the
+    /// `MSVS_INCREMENTAL` env default — so a bench document always
+    /// records the mode it actually ran.
+    pub incremental: bool,
 }
 
 impl Default for BenchOptions {
@@ -52,6 +61,8 @@ impl Default for BenchOptions {
             threads: 0,
             shards: 1,
             backend: BackendKind::Scalar,
+            churn: 0.0,
+            incremental: false,
         }
     }
 }
@@ -84,6 +95,8 @@ impl BenchOptions {
             .threads(self.threads)
             .shards(self.shards)
             .backend(self.backend)
+            .churn_rate(self.churn)
+            .incremental(self.incremental)
             .seed(self.seed)
             .build()
     }
@@ -175,6 +188,8 @@ pub fn run_bench(opts: &BenchOptions) -> Result<Json> {
         ("threads", Json::Num(threads as f64)),
         ("shards", Json::Num(sim.store().n_shards() as f64)),
         ("backend", Json::Str(sim.backend().name().into())),
+        ("churn_rate", Json::Num(opts.churn)),
+        ("incremental", Json::Bool(opts.incremental)),
         ("shard_plane", shard_plane),
         ("spans", Json::Num(sim.telemetry().spans().len() as f64)),
         ("wall_s", Json::Num(wall_s)),
@@ -291,8 +306,8 @@ mod tests {
             users: 24,
             intervals: 1,
             threads: 1,
-            shards: 1,
             backend: BackendKind::Simd,
+            ..Default::default()
         })
         .unwrap();
         validate_bench_json(&doc).unwrap();
@@ -308,6 +323,23 @@ mod tests {
                 .is_some(),
             "scheme_predict stage present"
         );
+    }
+
+    #[test]
+    fn incremental_bench_records_mode_and_churn() {
+        let doc = run_bench(&BenchOptions {
+            seed: 7,
+            users: 24,
+            intervals: 2,
+            threads: 1,
+            churn: 0.1,
+            incremental: true,
+            ..Default::default()
+        })
+        .unwrap();
+        validate_bench_json(&doc).unwrap();
+        assert!(matches!(doc.get("incremental"), Some(Json::Bool(true))));
+        assert_eq!(doc.get("churn_rate").and_then(Json::as_f64), Some(0.1));
     }
 
     #[test]
@@ -337,8 +369,7 @@ mod tests {
             users: 24,
             intervals: 1,
             threads: 1,
-            shards: 1,
-            backend: BackendKind::Scalar,
+            ..Default::default()
         })
         .unwrap();
         let mut text = doc.to_string().replace(BENCH_SCHEMA, BENCH_SCHEMA_V1);

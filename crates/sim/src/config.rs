@@ -36,6 +36,21 @@ fn default_shards() -> usize {
         .unwrap_or(1)
 }
 
+/// Environment variable that switches the incremental interval pipeline
+/// on by default (`1` or `true`). Lets CI exercise the incremental path
+/// across whole test suites without touching each test's config.
+pub const INCREMENTAL_ENV: &str = "MSVS_INCREMENTAL";
+
+fn default_incremental() -> bool {
+    std::env::var(INCREMENTAL_ENV)
+        .ok()
+        .map(|v| {
+            let v = v.trim();
+            v == "1" || v.eq_ignore_ascii_case("true")
+        })
+        .unwrap_or(false)
+}
+
 /// Environment variable that overrides the default compute backend
 /// (`scalar`, the bit-exact reference). Lets CI exercise the SIMD or int8
 /// inference path across the whole test suite without touching each
@@ -228,6 +243,16 @@ pub struct SimulationConfig {
     /// DDQN always run exact f32 kernels regardless. Defaults to the
     /// `MSVS_BACKEND` environment variable, or `scalar`.
     pub backend: BackendKind,
+    /// Incremental interval pipeline: re-encode only dirty users (churn,
+    /// restores), warm-start K-means from the previous interval's
+    /// centroids, and gate DDQN `K` re-selection on a drift score, so
+    /// low-churn interval cost scales with churn rather than population.
+    /// A bounded approximation of the exact pipeline (E15 pins the
+    /// accuracy cost below 1 pp); off by default and bit-identical to
+    /// historical behaviour when off. Defaults to the `MSVS_INCREMENTAL`
+    /// environment variable, or `false`. Seeded incremental runs are
+    /// bit-identical at any thread and shard count.
+    pub incremental: bool,
     /// Master RNG seed.
     pub seed: u64,
 }
@@ -267,6 +292,7 @@ impl Default for SimulationConfig {
             threads: default_threads(),
             shards: default_shards(),
             backend: default_backend(),
+            incremental: default_incremental(),
             seed: 0,
         }
     }
@@ -432,6 +458,13 @@ impl SimulationConfigBuilder {
     /// Compute backend for the frozen CNN encode path.
     pub fn backend(mut self, backend: BackendKind) -> Self {
         self.config.backend = backend;
+        self
+    }
+
+    /// Incremental interval pipeline (dirty-set encode, warm-start
+    /// K-means, drift-gated DDQN).
+    pub fn incremental(mut self, enabled: bool) -> Self {
+        self.config.incremental = enabled;
         self
     }
 

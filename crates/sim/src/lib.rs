@@ -33,7 +33,7 @@ pub use bench::{
 };
 pub use config::{
     DemandPredictorKind, MobilityMix, SimulationConfig, SimulationConfigBuilder, BACKEND_ENV,
-    SHARDS_ENV, THREADS_ENV,
+    INCREMENTAL_ENV, SHARDS_ENV, THREADS_ENV,
 };
 pub use metrics::{IntervalRecord, SimulationReport};
 pub use msvs_core::BackendKind;

@@ -69,7 +69,7 @@ fn print_help() {
          USAGE:\n\
          \x20 msvs run     [--users N] [--intervals N] [--seed S] [--churn F]\n\
          \x20              [--per-bs] [--predictor scheme|naive|ewma] [--threads N]\n\
-         \x20              [--shards N] [--backend scalar|simd|int8]\n\
+         \x20              [--shards N] [--backend scalar|simd|int8] [--incremental]\n\
          \x20              [--silhouette-cap N] [--faults PROFILE] [--slo POLICY]\n\
          \x20              [--serve-metrics ADDR] [--csv PATH]\n\
          \x20              [--journal PATH] [--trace PATH]\n\
@@ -80,8 +80,8 @@ fn print_help() {
          \x20 msvs flame   <trace.json | run flags> [--out PATH]\n\
          \x20                                          folded stacks for flamegraphs\n\
          \x20 msvs bench-report [--seed S] [--users N] [--intervals N] [--threads N]\n\
-         \x20              [--shards N] [--backend scalar|simd|int8] [--out PATH]\n\
-         \x20                                          perf baseline as JSON\n\
+         \x20              [--shards N] [--backend scalar|simd|int8] [--churn F]\n\
+         \x20              [--incremental] [--out PATH]    perf baseline as JSON\n\
          \x20 msvs bench-compare <baseline.json> <candidate.json> [--gate PCT]\n\
          \x20                                          stage-latency delta table\n\
          \x20 msvs swiping [--users N] [--seed S]      print a group's swipe curves\n\
@@ -102,6 +102,14 @@ fn print_help() {
          and the DDQN always run exact f32 kernels.\n\
          `--silhouette-cap N` caps silhouette scoring at N sampled users\n\
          (0 disables sampling; default 4096).\n\
+         `--incremental` switches on the incremental interval pipeline:\n\
+         only churned/restored users re-encode, K-means warm-starts from\n\
+         the previous interval's centroids, and DDQN K re-selection is\n\
+         gated on a drift score (default from MSVS_INCREMENTAL, else\n\
+         off). Off is bit-identical to historical behaviour; on trades a\n\
+         bounded (<1pp at scale) accuracy drift for sublinear low-churn\n\
+         interval cost, and stays bit-identical at any thread or shard\n\
+         count.\n\
          `--faults PROFILE` injects uplink faults from a built-in profile\n\
          ({}) or a JSON file (see results/fault_profiles/). Profiles may\n\
          schedule shard outages (`bs-flap`, `bs-crash`): crashed shards\n\
@@ -118,7 +126,9 @@ fn print_help() {
          `flame` collapses a Chrome-trace file (or a fresh run's spans)\n\
          into inferno-style folded stacks for `inferno-flamegraph`.\n\
          `bench-compare --gate PCT` exits non-zero when any shared\n\
-         stage's p50 regresses by more than PCT percent.\n\
+         stage's p50 regresses — or throughput drops — by more than PCT\n\
+         percent; differing backends, run shapes, or pipeline modes are\n\
+         warned about, never failed.\n\
          `checkpoint` runs the same scenario, then snapshots each shard\n\
          (twins + sync state + embedding keys) as one JSON line; the\n\
          `--restore` form reloads and verifies such a file offline.\n\
@@ -193,6 +203,10 @@ fn base_config(flags: &Flags<'_>) -> Result<SimulationConfig, String> {
     }
     if flags.value("--silhouette-cap").is_some() {
         builder = builder.silhouette_cap(flags.parse("--silhouette-cap", 0usize)?);
+    }
+    // Absent flag: keep the default (MSVS_INCREMENTAL env var, or off).
+    if flags.has("--incremental") {
+        builder = builder.incremental(true);
     }
     builder.build().map_err(|e| e.to_string())
 }
@@ -546,6 +560,8 @@ fn cmd_bench_report(args: &[String]) -> Result<(), String> {
         threads: flags.parse("--threads", defaults.threads)?,
         shards: flags.parse("--shards", defaults.shards)?,
         backend: flags.parse("--backend", defaults.backend)?,
+        churn: flags.parse("--churn", defaults.churn)?,
+        incremental: flags.has("--incremental"),
     };
     let out = flags.value("--out").unwrap_or("BENCH_7.json");
     let doc = run_bench(&opts).map_err(|e| e.to_string())?;
@@ -622,6 +638,39 @@ fn cmd_bench_compare(args: &[String]) -> Result<(), String> {
              latency deltas reflect the backend change, not a regression"
         );
     }
+    // Same for the run shape: a 100k-user baseline against a 10k-user
+    // candidate (or different thread/shard counts) compares machines-worth
+    // of work, not code. Warn, never fail — cross-shape comparisons are
+    // sometimes exactly what the operator wants to eyeball.
+    for key in ["users", "intervals", "threads", "shards"] {
+        let (b, c) = (
+            base.get(key).and_then(msvs::telemetry::Json::as_u64),
+            cand.get(key).and_then(msvs::telemetry::Json::as_u64),
+        );
+        if let (Some(b), Some(c)) = (b, c) {
+            if b != c {
+                println!(
+                    "warning: comparing across run shapes ({key} {b} vs {c}); \
+                     latency deltas reflect the shape change, not a regression"
+                );
+            }
+        }
+    }
+    // Incremental-pipeline mode rides the v2 document; documents that
+    // predate the field ran the exact pipeline.
+    let incremental_of = |doc: &msvs::telemetry::Json| {
+        matches!(
+            doc.get("incremental"),
+            Some(msvs::telemetry::Json::Bool(true))
+        )
+    };
+    let (base_inc, cand_inc) = (incremental_of(&base), incremental_of(&cand));
+    if base_inc != cand_inc {
+        println!(
+            "warning: comparing across pipeline modes (incremental {base_inc} vs {cand_inc}); \
+             latency deltas reflect the mode change, not a regression"
+        );
+    }
     let stage_p50s = |doc: &msvs::telemetry::Json| -> BTreeMap<String, f64> {
         match doc.get("stages") {
             Some(msvs::telemetry::Json::Obj(map)) => map
@@ -666,7 +715,21 @@ fn cmd_bench_compare(args: &[String]) -> Result<(), String> {
             cand.get(key).and_then(msvs::telemetry::Json::as_f64),
         );
         if let (Some(b), Some(c)) = (b, c) {
-            println!("{key}: {b:.1} -> {c:.1}");
+            if b > 0.0 {
+                println!("{key}: {b:.1} -> {c:.1} ({:+.1}%)", (c - b) / b * 100.0);
+            } else {
+                println!("{key}: {b:.1} -> {c:.1}");
+            }
+            // Throughput rides the same gate as stage p50s: a drop (in
+            // percent of the baseline) beyond the gate fails the compare.
+            if key == "throughput_user_intervals_per_s" && b > 0.0 {
+                if let Some(gate) = gate {
+                    let drop_pct = (b - c) / b * 100.0;
+                    if drop_pct > gate {
+                        regressions.push(format!("{key} -{drop_pct:.1}% (gate {gate:.1}%)"));
+                    }
+                }
+            }
         }
     }
     if !regressions.is_empty() {

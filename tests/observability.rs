@@ -138,6 +138,7 @@ fn bench_document_from_a_tiny_run_is_schema_valid() {
         threads: 2,
         shards: 1,
         backend: msvs::sim::BackendKind::Scalar,
+        ..Default::default()
     })
     .expect("bench run");
     validate_bench_json(&doc).expect("schema-valid document");
